@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Each ``test_bench_*.py`` module regenerates one paper artifact (table
+or figure): it runs the corresponding experiment driver under
+pytest-benchmark and prints the same rows/series the paper reports.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a rendered artifact so a benchmark run shows the paper's
+    rows (visible with -s; captured otherwise)."""
+    print(f"\n=== {title} ===\n{body}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment driver exactly once under the benchmark
+    timer (autocalibration would re-run multi-second drivers)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,128 @@
+"""Ablation benches (DESIGN.md §5): design-choice studies beyond the
+paper's headline artifacts.
+
+* ull_runqueue count: balancing, refresh cost, resume flatness;
+* precompute maintenance vs queue churn;
+* scheduler/platform sensitivity (Firecracker/CFS vs Xen/credit2);
+* per-step attribution of the HORSE saving.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import (
+    ablate_mechanism_split,
+    ablate_platform,
+    ablate_precompute_churn,
+    ablate_ull_runqueue_count,
+)
+from repro.hypervisor.pause_resume import STEP_MERGE
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ull_runqueue_count(once):
+    points = once(ablate_ull_runqueue_count, queue_counts=(1, 2, 4, 8))
+    emit(
+        "Ablation — reserved ull_runqueue count",
+        render_table(
+            ["queues", "max imbalance", "refresh entries/resume", "resume ns"],
+            [
+                [
+                    str(p.reserved_queues),
+                    str(p.max_assignment_imbalance),
+                    f"{p.refresh_entries_per_resume:.1f}",
+                    f"{p.mean_resume_ns:.0f}",
+                ]
+                for p in points
+            ],
+        ),
+    )
+    assert all(p.max_assignment_imbalance <= 1 for p in points)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_precompute_churn(once):
+    points = once(ablate_precompute_churn, churn_levels=(0, 10, 50, 200))
+    emit(
+        "Ablation — P2SM precompute refresh vs ull_runqueue churn",
+        render_table(
+            ["churn events", "refresh ops", "entries rebuilt", "entries/event"],
+            [
+                [
+                    str(p.churn_events),
+                    str(p.refresh_operations),
+                    str(p.refresh_entries),
+                    f"{p.entries_per_event:.1f}",
+                ]
+                for p in points
+            ],
+        ),
+    )
+    entries = [p.refresh_entries for p in points]
+    assert entries == sorted(entries)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_platform_sensitivity(once):
+    comparisons = once(ablate_platform, vcpus=36, repetitions=5)
+    emit(
+        "Ablation — scheduler/platform sensitivity (36 vCPUs)",
+        render_table(
+            ["platform", "vanil ns", "horse ns", "speedup"],
+            [
+                [
+                    c.platform,
+                    f"{c.vanil_ns:.0f}",
+                    f"{c.horse_ns:.0f}",
+                    f"{c.speedup:.2f}x",
+                ]
+                for c in comparisons
+            ],
+        ),
+    )
+    assert all(c.speedup > 5.0 for c in comparisons)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_dispatch_interference(once):
+    """Mechanistic §5.4 validation: merge threads preempt through the
+    real dispatcher; mean intact, tail shifted."""
+    from repro.experiments.ablations_dispatch import run_dispatch_interference
+
+    result = once(run_dispatch_interference, seed=0)
+    emit(
+        "Ablation — dispatcher-driven merge-thread preemption",
+        render_table(
+            ["preemptions", "delay each (us)", "mean delta (us)", "p99 delta (us)"],
+            [[
+                str(result.preemptions),
+                f"{result.delay_per_preemption_us:.2f}",
+                f"{result.mean_delta_us:.2f}",
+                f"{result.p99_delta_us:.2f}",
+            ]],
+        ),
+    )
+    assert result.p99_delta_us >= result.mean_delta_us
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_mechanism_split(once):
+    split = once(ablate_mechanism_split, vcpus=36)
+    emit(
+        "Ablation — per-step attribution of the HORSE saving (36 vCPUs)",
+        render_table(
+            ["step", "vanil ns", "horse ns", "saving ns", "share"],
+            [
+                [
+                    step,
+                    f"{vanil:.0f}",
+                    f"{horse:.0f}",
+                    f"{split.saving_ns(step):.0f}",
+                    f"{100 * split.share_of_saving(step):.1f}%",
+                ]
+                for step, (vanil, horse) in split.steps.items()
+            ],
+        ),
+    )
+    assert split.share_of_saving(STEP_MERGE) > 0.5

@@ -1,0 +1,25 @@
+"""Bench CO — regenerates the §5.4 colocation study.
+
+Azure-trace-driven thumbnail invocations next to 10 uLL resumes/s;
+reports mean / p95 / p99 latency for vanilla vs HORSE across the uLL
+vCPU sweep.  Paper anchors: mean/p95 unchanged; p99 overhead up to
+~30 us (0.00107 %) at 36 vCPUs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import render_colocation
+from repro.experiments.colocation import ULL_VCPU_SWEEP, run_colocation
+
+
+@pytest.mark.benchmark(group="colocation")
+def test_colocation_sweep(once):
+    result = once(run_colocation, vcpu_counts=ULL_VCPU_SWEEP, seed=0)
+    emit("§5.4 colocation — thumbnail latency vanilla vs HORSE",
+         render_colocation(result))
+    worst = max(result.vcpu_counts())
+    assert 0.0 <= result.p99_overhead_us(worst) <= 60.0
+    assert result.p99_overhead_pct(worst) <= 0.005
+    vanil_mean = result.run("vanilla", worst).summary().mean_us
+    assert abs(result.mean_delta_us(worst)) / vanil_mean < 1e-5

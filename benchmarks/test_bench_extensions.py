@@ -1,0 +1,180 @@
+"""Extension benches: SLO attainment, warm-pool keep-alive trade-off,
+and the skip-vs-coalesce DVFS ablation (DESIGN.md §5 extensions)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.experiments.ablations_energy import ablate_skip_vs_coalesce
+from repro.experiments.pool_study import run_pool_study
+from repro.experiments.slo import SLO_SCENARIOS, run_slo
+from repro.faas.invocation import StartType
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_slo_attainment(once):
+    result = once(run_slo, invocations=100, seed=0)
+    rows = []
+    for category in result.categories():
+        rows.append(
+            [category]
+            + [
+                f"{100 * result.attainment(category, scenario):.0f}%"
+                for scenario in SLO_SCENARIOS
+            ]
+        )
+    emit(
+        "Extension — uLL deadline attainment per start strategy",
+        render_table(
+            ["category"] + [s.value for s in SLO_SCENARIOS], rows
+        ),
+    )
+    for category in result.categories():
+        # >= 0.97, not == 1.0: the firewall's execution envelope clips at
+        # exactly its 20 us budget, so a draw at the clip plus HORSE's
+        # 132 ns init can legitimately land just over the line.
+        assert result.attainment(category, StartType.HORSE) >= 0.97
+        assert result.attainment(category, StartType.COLD) == 0.0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_pool_keepalive_tradeoff(once):
+    result = once(run_pool_study, seed=0)
+    rows = []
+    for name in result.policy_names():
+        outcome = result.outcome(name)
+        rows.append(
+            [
+                name,
+                str(outcome.triggers),
+                f"{100 * outcome.hit_rate:.0f}%",
+                str(outcome.cold_starts),
+                str(outcome.evictions),
+                str(outcome.peak_pooled),
+                f"{outcome.mean_init_us / 1000:.0f}ms",
+            ]
+        )
+    emit(
+        "Extension — warm-pool hit rate vs keep-alive policy",
+        render_table(
+            ["policy", "triggers", "hit rate", "colds", "evictions",
+             "peak pooled", "mean init"],
+            rows,
+        ),
+    )
+    assert (
+        result.outcome("fixed-120s").hit_rate
+        >= result.outcome("fixed-5s").hit_rate
+    )
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_cluster_placement(once):
+    """Multi-host extension: placement policy trade-offs under an
+    Azure-like trace."""
+    from repro.experiments.cluster_study import run_cluster_study
+
+    result = once(run_cluster_study, seed=0)
+    rows = []
+    for policy in result.policies():
+        outcome = result.outcome(policy)
+        rows.append(
+            [
+                policy,
+                str(outcome.triggers),
+                f"{100 * outcome.cold_rate:.1f}%",
+                f"{outcome.balance_cv:.3f}",
+                f"{outcome.mean_init_us / 1000:.1f}ms",
+            ]
+        )
+    emit(
+        "Extension — cluster placement policies (4 hosts)",
+        render_table(
+            ["policy", "triggers", "cold rate", "balance CV", "mean init"],
+            rows,
+        ),
+    )
+    assert (
+        result.outcome("warm-affinity").cold_fallbacks
+        <= result.outcome("round-robin").cold_fallbacks
+    )
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_restore_prefetch_tradeoff(once):
+    """FaaSnap trade-off behind the paper's flat 1300 us restore."""
+    from repro.experiments.ablations_restore import ablate_restore_prefetch
+
+    points = once(ablate_restore_prefetch)
+    emit(
+        "Extension — restore prefetch fraction vs readiness",
+        render_table(
+            ["prefetch", "restore (us)", "1st-req penalty (us)",
+             "effective (us)"],
+            [
+                [
+                    f"{100 * p.prefetch_fraction:.0f}%",
+                    f"{p.restore_ns / 1000:.0f}",
+                    f"{p.first_request_penalty_ns / 1000:.0f}",
+                    f"{p.effective_ready_ns / 1000:.0f}",
+                ]
+                for p in points
+            ],
+        ),
+    )
+    assert points[-1].first_request_penalty_ns == 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_transport_sensitivity(once):
+    """§2 premise: how fast must the trigger path be for resume time to
+    matter?  HORSE's benefit fades from ~46 pp (local) to ~0 (TCP)."""
+    from repro.experiments.transport_sensitivity import (
+        run_transport_sensitivity,
+    )
+
+    result = once(run_transport_sensitivity, invocations=100, seed=0)
+    rows = []
+    for transport in ("local", "nano-fabric", "kernel-bypass", "tcp"):
+        warm = result.cell(transport, StartType.WARM)
+        horse = result.cell(transport, StartType.HORSE)
+        rows.append(
+            [
+                transport,
+                f"{warm.mean_overhead_pct:.1f}%",
+                f"{horse.mean_overhead_pct:.1f}%",
+                f"{result.horse_benefit_pct(transport):.1f} pp",
+            ]
+        )
+    emit(
+        "Extension — trigger-transport sensitivity (Category 3)",
+        render_table(
+            ["transport", "warm overhead", "horse overhead", "HORSE benefit"],
+            rows,
+        ),
+    )
+    assert result.horse_benefit_pct("local") > 30.0
+    assert result.horse_benefit_pct("tcp") < 1.0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_skip_vs_coalesce_dvfs(once):
+    points = once(ablate_skip_vs_coalesce)
+    emit(
+        "Extension — load update: coalesce (HORSE) vs skip (naive)",
+        render_table(
+            ["vCPUs", "true load", "coalesce freq err", "skip freq err",
+             "skip power deficit"],
+            [
+                [
+                    str(p.vcpus),
+                    f"{p.true_load:.1f}",
+                    f"{100 * p.coalesced_freq_error:.2f}%",
+                    f"{100 * p.skipped_freq_error:.2f}%",
+                    f"{p.skipped_power_deficit_watts:.2f} W",
+                ]
+                for p in points
+            ],
+        ),
+    )
+    assert all(p.coalesced_freq_error == 0.0 for p in points)

@@ -1,0 +1,23 @@
+"""Bench F1 — regenerates Figure 1 (paper §2).
+
+Initialization share of the full trigger pipeline per scenario and uLL
+category.  Paper anchors: cold/restore >= 98.7 %, warm 6.07 / 42.3 /
+61.1 % for categories 1/2/3.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure1_series, render_figure1
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_series(once):
+    result = once(run_table1, repetitions=10, seed=0)
+    emit("Figure 1 — init share per scenario x category", render_figure1(result))
+    series = figure1_series(result)
+    # cold bar is always the tallest; warm always the smallest.
+    for index in range(3):
+        assert series["cold"][index] >= series["restore"][index]
+        assert series["restore"][index] >= series["warm"][index]

@@ -1,0 +1,36 @@
+"""Bench F2 — regenerates Figure 2 (paper §3.2).
+
+Per-step breakdown of the vanilla resume over the 1-36 vCPU sweep;
+steps 4 (sorted merge) + 5 (load update) must dominate (87.5-93.1 %).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import render_figure2
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import VCPU_SWEEP, fresh_platform, paused_sandbox
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_breakdown(once):
+    result = once(run_figure2, vcpu_counts=VCPU_SWEEP, repetitions=10)
+    emit("Figure 2 — vanilla resume breakdown vs vCPUs", render_figure2(result))
+    assert result.hot_shares()[0] == pytest.approx(0.875, abs=0.01)
+    assert result.hot_shares()[-1] >= 0.91
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("vcpus", [1, 8, 36])
+def test_vanilla_resume_operation(benchmark, vcpus):
+    """Micro: the vanilla resume operation itself at several sizes —
+    real wall time of the reproduction's data-structure work."""
+
+    def setup():
+        virt = fresh_platform()
+        return (virt, paused_sandbox(virt, vcpus=vcpus)), {}
+
+    def resume(virt, sandbox):
+        return virt.vanilla.resume(sandbox, 0)
+
+    benchmark.pedantic(resume, setup=setup, rounds=20)

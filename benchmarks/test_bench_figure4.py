@@ -1,0 +1,24 @@
+"""Bench F4 — regenerates Figure 4 (paper §5.3).
+
+Initialization percentage for cold / restore / warm / HORSE across the
+three uLL workloads.  Paper anchors: HORSE init share 0.77-17.64 %,
+beating warm by up to 8.95x and cold by up to 142.84x.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import render_figure4
+from repro.experiments.figure4 import run_figure4
+from repro.faas.invocation import StartType
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_grid(once):
+    result = once(run_figure4, repetitions=10, seed=0)
+    emit("Figure 4 — init share incl. HORSE", render_figure4(result))
+    low, high = result.horse_init_pct_range()
+    assert low == pytest.approx(0.77, abs=0.3)
+    assert high == pytest.approx(17.6, abs=3.0)
+    assert result.horse_advantage(StartType.COLD) > 100.0
+    assert result.horse_advantage(StartType.WARM) > 5.0

@@ -1,0 +1,40 @@
+"""Bench OV — regenerates the §5.2 overhead study.
+
+10 busy background sandboxes + 10 uLL sandboxes paused 5 s then
+resumed, sweeping uLL vCPUs; reports HORSE's memory and CPU overhead
+against vanilla.  Paper anchors: ~528 kB memory, pause CPU <= 0.3 %,
+resume CPU <= 2.7 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.experiments.overhead import run_overhead
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_overhead_sweep(once):
+    result = once(run_overhead, vcpu_counts=(1, 8, 16, 36), seed=0)
+    rows = []
+    for vcpus in result.vcpu_counts():
+        rows.append(
+            [
+                str(vcpus),
+                f"{result.memory_delta_bytes(vcpus) / 1000:.1f}",
+                f"{result.run('horse', vcpus).memory_overhead_pct:.4f}",
+                f"{result.pause_cpu_delta_pct(vcpus):.6f}",
+                f"{result.resume_cpu_delta_pct(vcpus):.6f}",
+            ]
+        )
+    emit(
+        "§5.2 overhead (paper: ~528 kB, pause <= 0.3 %, resume <= 2.7 %)",
+        render_table(
+            ["uLL vCPUs", "mem delta (kB)", "mem %", "pause CPU %", "resume CPU %"],
+            rows,
+        ),
+    )
+    assert result.memory_delta_bytes(36) == pytest.approx(528_000, rel=0.05)
+    assert result.pause_cpu_delta_pct(36) <= 0.3
+    assert result.resume_cpu_delta_pct(36) <= 2.7
+    assert result.run("horse", 36).memory_overhead_pct < 1.0

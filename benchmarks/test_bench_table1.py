@@ -1,0 +1,39 @@
+"""Bench T1 — regenerates Table 1 (paper §2).
+
+Prints the same three rows the paper reports (initialization time,
+average execution time, initialization percentage) for cold / restore /
+warm across the three uLL categories.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table1
+from repro.experiments.table1 import run_table1
+from repro.faas.invocation import StartType
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_grid(once):
+    result = once(run_table1, repetitions=10, seed=0)
+    emit("Table 1 (paper: cold ~1.5e6 us, restore ~1300 us, warm ~1.1 us)",
+         render_table1(result))
+    # Guard the headline shape while benchmarking.
+    assert result.cell("firewall", StartType.WARM).mean_init_pct < 10.0
+    assert result.cell("array-filter", StartType.WARM).mean_init_pct > 55.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_warm_start_operation(benchmark):
+    """Micro: one warm (vanilla) resume, the operation behind the
+    Table 1 'warm' column."""
+    from repro.experiments.runner import fresh_platform, paused_sandbox
+
+    def setup():
+        virt = fresh_platform()
+        return (virt, paused_sandbox(virt, vcpus=1)), {}
+
+    def warm_resume(virt, sandbox):
+        return virt.vanilla.resume(sandbox, 0)
+
+    benchmark.pedantic(warm_resume, setup=setup, rounds=30)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Autoscaled provisioned concurrency under a bursty trace.
+
+The paper's uLL story relies on an always-warm pool; this example shows
+the operational side: a :class:`~repro.faas.autoscaler.PoolAutoscaler`
+watches the trigger rate of a uLL function driven by a bursty
+Azure-like arrival stream and resizes the HORSE-paused pool (Little's
+law + headroom).  Compare the pool's tracking of the offered load, the
+warm hit rate, and the number of cold fallbacks against a static
+1-sandbox pool.
+
+Run:  python examples/autoscaled_pool.py
+"""
+
+import random
+
+from repro.faas import FaaSPlatform, FunctionSpec, StartType
+from repro.faas.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.sim.units import SECOND, milliseconds, seconds
+from repro.traces.azure import AzureTraceConfig, synthesize_trace
+from repro.workloads import SysbenchCpuWorkload
+
+DURATION_S = 60.0
+
+
+def run(autoscale: bool):
+    faas = FaaSPlatform.build("firecracker", seed=17)
+    # ~100 ms rounds: long enough that bursts overlap and the pool
+    # actually drains (us-scale uLL functions return instantly).
+    faas.register(FunctionSpec("fw", SysbenchCpuWorkload(), memory_mb=128))
+    faas.provision_warm("fw", count=1)
+
+    scaler = None
+    if autoscale:
+        scaler = PoolAutoscaler(
+            faas,
+            "fw",
+            # Warm sandboxes cycle (resume + exec + pause) in ~ms at the
+            # platform level; use a coarse 100 ms busy estimate so the
+            # pool holds a few sandboxes through bursts.
+            expected_busy_ns=milliseconds(100),
+            config=AutoscalerConfig(
+                window_ns=seconds(5), period_ns=milliseconds(500),
+                # bursts run ~3x the average rate (MMPP with 30 %
+                # duty cycle), so size for the burst, not the mean
+                headroom=4.0, min_pool=1, max_pool=16,
+            ),
+        )
+        scaler.start()
+
+    trace = synthesize_trace(
+        AzureTraceConfig(
+            functions=1, duration_s=DURATION_S,
+            mean_rate_per_function=20.0, burst_on_fraction=0.3,
+        ),
+        random.Random(5),
+    )
+    hits = colds = 0
+    pool_sizes = []
+
+    def fire() -> None:
+        nonlocal hits, colds
+        if scaler is not None:
+            scaler.observe_trigger()
+        if faas.pool.size("fw") > 0:
+            faas.trigger("fw", StartType.WARM)
+            hits += 1
+        else:
+            faas.trigger("fw", StartType.COLD)
+            colds += 1
+        pool_sizes.append(faas.pool.size("fw"))
+
+    for when in trace.merged_timestamps():
+        faas.engine.schedule_at(when, fire)
+    faas.engine.run(until=seconds(DURATION_S + 5))
+
+    label = "autoscaled" if autoscale else "static(1)"
+    total = hits + colds
+    print(
+        f"{label:11s} triggers={total:4d}  warm hit rate="
+        f"{hits / total:6.1%}  cold fallbacks={colds:3d}  "
+        f"final target={scaler.current_target if scaler else 1}"
+    )
+
+
+def main() -> None:
+    print(f"Bursty uLL traffic (~20/s for {DURATION_S:.0f} s) against a "
+          "HORSE-paused warm pool:\n")
+    run(autoscale=False)
+    run(autoscale=True)
+    print("\nThe autoscaler roughly halves the cold fallbacks by sizing the")
+    print("HORSE-paused pool for the bursts; the residue is burst-onset")
+    print("misses inherent to reactive scaling (the rate window must see")
+    print("the burst before the pool can grow).")
+
+
+if __name__ == "__main__":
+    main()

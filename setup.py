@@ -1,0 +1,7 @@
+"""setup.py shim for environments without the `wheel` package
+(pip's modern editable path needs bdist_wheel; `setup.py develop`
+does not)."""
+
+from setuptools import setup
+
+setup()

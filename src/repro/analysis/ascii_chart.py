@@ -1,0 +1,65 @@
+"""ASCII chart rendering for terminal reports.
+
+The paper's Figures 1 and 4 are grouped percentage bars; ``bar_chart``
+renders the same shape in plain text so a terminal run of the report
+shows the figures, not just their tables.  ``sparkline`` compresses a
+series (e.g. resume time vs vCPUs) into one line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """One horizontal bar scaled to *maximum*."""
+    if maximum <= 0:
+        raise ValueError(f"maximum must be positive, got {maximum}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    clamped = min(max(value, 0.0), maximum)
+    filled = round(width * clamped / maximum)
+    return "#" * filled + "." * (width - filled)
+
+
+def bar_chart(
+    series: Dict[str, Sequence[float]],
+    categories: Sequence[str],
+    maximum: float = 100.0,
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Grouped horizontal bars: one block per series row, one bar per
+    category — the shape of the paper's Figures 1/4."""
+    label_width = max(len(c) for c in categories) if categories else 0
+    lines: List[str] = []
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+        lines.append(f"{name}:")
+        for category, value in zip(categories, values):
+            lines.append(
+                f"  {category.ljust(label_width)}  "
+                f"{bar(value, maximum, width)} {value:6.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compress a series into block characters (min->max normalized)."""
+    if not values:
+        raise ValueError("sparkline of empty series")
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        index = round((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)

@@ -1,0 +1,123 @@
+"""Export experiment results to JSON/CSV for external plotting.
+
+The renderers in :mod:`repro.analysis.figures` print paper-style text;
+this module serializes the same data structurally so users can plot
+with their own tooling (matplotlib, gnuplot, spreadsheets)::
+
+    from repro.analysis.export import figure3_to_json, write_csv
+    payload = figure3_to_json(run_figure3())
+    write_csv("figure3.csv", payload["columns"], payload["rows"])
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.experiments.colocation import ColocationResult
+from repro.experiments.figure2 import Figure2Result
+from repro.experiments.figure3 import Figure3Result
+from repro.experiments.figure4 import FIGURE4_SCENARIOS, Figure4Result
+from repro.experiments.table1 import Table1Result
+
+
+def table1_to_json(result: Table1Result) -> Dict[str, Any]:
+    rows: List[List[Any]] = []
+    for (category, scenario), cell in sorted(
+        result.cells.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        rows.append(
+            [
+                category,
+                scenario.value,
+                cell.mean_init_us,
+                cell.mean_exec_us,
+                cell.mean_init_pct,
+            ]
+        )
+    return {
+        "artifact": "table1",
+        "columns": ["category", "scenario", "init_us", "exec_us", "init_pct"],
+        "rows": rows,
+    }
+
+
+def figure2_to_json(result: Figure2Result) -> Dict[str, Any]:
+    steps = sorted({step for p in result.points for step in p.mean_step_ns})
+    rows = [
+        [p.vcpus, p.mean_total_ns]
+        + [p.mean_step_ns.get(step, 0.0) for step in steps]
+        + [p.hot_share]
+        for p in result.points
+    ]
+    return {
+        "artifact": "figure2",
+        "columns": ["vcpus", "total_ns"] + steps + ["hot_share"],
+        "rows": rows,
+    }
+
+
+def figure3_to_json(result: Figure3Result) -> Dict[str, Any]:
+    vcpus = result.vcpu_counts()
+    rows = []
+    for setup in sorted(result.series):
+        for count in vcpus:
+            rows.append([setup, count, result.mean_ns(setup, count)])
+    return {
+        "artifact": "figure3",
+        "columns": ["setup", "vcpus", "resume_ns"],
+        "rows": rows,
+    }
+
+
+def figure4_to_json(result: Figure4Result) -> Dict[str, Any]:
+    rows = []
+    for scenario in FIGURE4_SCENARIOS:
+        for category in result.categories():
+            rows.append(
+                [scenario.value, category, result.init_pct(category, scenario)]
+            )
+    return {
+        "artifact": "figure4",
+        "columns": ["scenario", "category", "init_pct"],
+        "rows": rows,
+    }
+
+
+def colocation_to_json(result: ColocationResult) -> Dict[str, Any]:
+    rows = []
+    for vcpus in result.vcpu_counts():
+        for mode in ("vanilla", "horse"):
+            summary = result.run(mode, vcpus).summary()
+            rows.append(
+                [mode, vcpus, summary.mean_us, summary.p95_us, summary.p99_us]
+            )
+    return {
+        "artifact": "colocation",
+        "columns": ["mode", "ull_vcpus", "mean_us", "p95_us", "p99_us"],
+        "rows": rows,
+    }
+
+
+def write_json(path: Path | str, payload: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def write_csv(
+    path: Path | str, columns: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> Path:
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            if len(row) != len(columns):
+                raise ValueError(
+                    f"row has {len(row)} cells for {len(columns)} columns"
+                )
+            writer.writerow(row)
+    return path

@@ -1,0 +1,64 @@
+"""Render experiment results as the paper's tables (plain text).
+
+Formatting only — all numbers come from the experiment result objects.
+The renderers return strings so tests can assert on structure and the
+report writer can embed them in Markdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.table1 import TABLE1_SCENARIOS, Table1Result
+from repro.faas.invocation import StartType
+
+
+def _format_us(value: float) -> str:
+    """Microseconds with magnitude-appropriate precision."""
+    if value >= 100_000:
+        return f"{value:.3g}"
+    if value >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Minimal fixed-width table renderer."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table1(
+    result: Table1Result,
+    scenarios: Sequence[StartType] = TABLE1_SCENARIOS,
+) -> str:
+    """Table 1: init time / exec time / init share per (category,
+    scenario), mirroring the paper's row structure."""
+    categories = result.categories()
+    headers = ["metric"] + [
+        f"{category}/{scenario.value}"
+        for category in categories
+        for scenario in scenarios
+    ]
+    init_row: List[str] = ["Initialization (us)"]
+    exec_row: List[str] = ["Avg Execution (us)"]
+    pct_row: List[str] = ["Init. Per. (%)"]
+    for category in categories:
+        for scenario in scenarios:
+            cell = result.cell(category, scenario)
+            init_row.append(_format_us(cell.mean_init_us))
+            exec_row.append(_format_us(cell.mean_exec_us))
+            pct_row.append(f"{cell.mean_init_pct:.2f}")
+    return render_table(headers, [init_row, exec_row, pct_row])

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``       — run the full evaluation, print/write Markdown;
+* ``experiment``   — run one paper artifact and print its table/series;
+* ``demo``         — the quickstart comparison of the four start paths;
+* ``list``         — list the available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.figures import (
+    render_colocation,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+)
+from repro.analysis.report import ReportConfig, generate_report
+from repro.analysis.tables import render_table1
+
+EXPERIMENTS: Dict[str, str] = {
+    "table1": "Table 1 — init/exec/init% for cold/restore/warm x categories",
+    "figure1": "Figure 1 — init share per scenario",
+    "figure2": "Figure 2 — vanilla resume breakdown vs vCPUs",
+    "figure3": "Figure 3 — resume time: vanil/ppsm/coal/horse",
+    "figure4": "Figure 4 — init share incl. HORSE",
+    "overhead": "§5.2 — CPU and memory overhead",
+    "colocation": "§5.4 — colocation with long-running functions",
+}
+
+
+def _run_experiment(name: str, fast: bool, seed: int, platform: str) -> str:
+    reps = 3 if fast else 10
+    sweep = (1, 8, 36) if fast else (1, 2, 4, 8, 16, 24, 36)
+    if name in ("table1", "figure1"):
+        from repro.experiments.table1 import run_table1
+
+        result = run_table1(repetitions=reps, seed=seed, platform=platform)
+        return render_table1(result) if name == "table1" else render_figure1(result)
+    if name == "figure2":
+        from repro.experiments.figure2 import run_figure2
+
+        return render_figure2(
+            run_figure2(vcpu_counts=sweep, repetitions=reps, platform=platform)
+        )
+    if name == "figure3":
+        from repro.experiments.figure3 import run_figure3
+
+        return render_figure3(
+            run_figure3(vcpu_counts=sweep, repetitions=reps, platform=platform)
+        )
+    if name == "figure4":
+        from repro.experiments.figure4 import run_figure4
+
+        return render_figure4(
+            run_figure4(repetitions=reps, seed=seed, platform=platform)
+        )
+    if name == "overhead":
+        from repro.experiments.overhead import run_overhead
+
+        result = run_overhead(
+            vcpu_counts=(1, 36) if fast else sweep, seed=seed, platform=platform
+        )
+        lines = []
+        for vcpus in result.vcpu_counts():
+            lines.append(
+                f"uLL vCPUs={vcpus}: mem delta "
+                f"{result.memory_delta_bytes(vcpus) / 1000:.1f} kB, "
+                f"pause CPU {result.pause_cpu_delta_pct(vcpus):.6f} %, "
+                f"resume CPU {result.resume_cpu_delta_pct(vcpus):.6f} %"
+            )
+        return "\n".join(lines)
+    if name == "colocation":
+        from repro.experiments.colocation import run_colocation
+
+        counts = (1, 36) if fast else (1, 8, 16, 36)
+        return render_colocation(
+            run_colocation(vcpu_counts=counts, seed=seed, platform=platform)
+        )
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = generate_report(ReportConfig(seed=args.seed, fast=args.fast))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.name!r}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"== {EXPERIMENTS[args.name]} ({args.platform}) ==\n")
+    print(
+        _run_experiment(
+            args.name, fast=args.fast, seed=args.seed, platform=args.platform
+        )
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name, description in sorted(EXPERIMENTS.items()):
+        print(f"{name:12s} {description}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.faas import FaaSPlatform, FunctionSpec, StartType
+    from repro.sim.units import format_duration, seconds
+    from repro.workloads import FirewallWorkload
+
+    faas = FaaSPlatform.build("firecracker", seed=args.seed)
+    faas.register(FunctionSpec("firewall", FirewallWorkload()))
+    print(f"{'start':10s}  {'init':>12s}  {'init %':>8s}")
+    for start_type in (StartType.COLD, StartType.RESTORE,
+                       StartType.WARM, StartType.HORSE):
+        if start_type in (StartType.WARM, StartType.HORSE):
+            faas.provision_warm(
+                "firewall", count=1, use_horse=start_type is StartType.HORSE
+            )
+        invocation = faas.trigger("firewall", start_type)
+        faas.engine.run(until=faas.engine.now + seconds(3))
+        print(
+            f"{start_type.value:10s}  "
+            f"{format_duration(invocation.initialization_ns):>12s}  "
+            f"{invocation.init_percentage:7.2f}%"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HORSE reproduction — experiments and demos",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser("report", help="full evaluation report")
+    report.add_argument("--fast", action="store_true")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", type=str, default=None)
+    report.set_defaults(func=_cmd_report)
+
+    experiment = subparsers.add_parser("experiment", help="one paper artifact")
+    experiment.add_argument("name", help=", ".join(sorted(EXPERIMENTS)))
+    experiment.add_argument("--fast", action="store_true")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--platform", choices=("firecracker", "xen"), default="firecracker",
+        help="hypervisor model (the paper evaluated both)",
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = subparsers.add_parser("list", help="list experiment ids")
+    lister.set_defaults(func=_cmd_list)
+
+    demo = subparsers.add_parser("demo", help="compare the four start paths")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=_cmd_demo)
+
+    validate = subparsers.add_parser(
+        "validate", help="check every paper claim against measured values"
+    )
+    validate.add_argument("--full", action="store_true",
+                          help="10 reps and the full vCPU sweep")
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import failed_checks, summarize, validate_all
+
+    checks = validate_all(fast=not args.full, seed=args.seed)
+    print(summarize(checks))
+    return 1 if failed_checks(checks) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Load-update coalescing (paper §4.2).
+
+Run-queue load tracking applies, for every vCPU placed on a run queue,
+an affine update ``L(x) = alpha * x + beta`` (the PELT family of load
+trackers has this shape when folding in a newly runnable entity).  For
+a sandbox with *n* vCPUs all landing on the same run queue — which P2SM
+guarantees — the n-fold composition collapses analytically:
+
+    f^n(x) = alpha^n * x + beta * (1 - alpha^n) / (1 - alpha)
+
+because ``beta * sum_{i=0}^{n-1} alpha^i`` is a geometric series.  HORSE
+precomputes ``alpha^n`` and the beta term at *pause* time (they depend
+only on n) and applies a single fused update at resume time.
+
+Note on the paper's formula: the text writes the beta term with
+``alpha^(n-1)`` in the numerator while its own derivation sums
+``i = 0 .. n-1`` — a sum whose closed form uses ``alpha^n``.  We
+implement the mathematically consistent version (property-tested to
+equal n-fold application exactly); the discrepancy is a typo in the
+paper and is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AffineUpdate:
+    """One load update ``x -> alpha * x + beta``."""
+
+    alpha: float
+    beta: float
+
+    def apply(self, x: float) -> float:
+        return self.alpha * x + self.beta
+
+    def compose_n(self, n: int) -> "CoalescedUpdate":
+        """Closed form of applying this update *n* times."""
+        return CoalescedUpdate.precompute(self.alpha, self.beta, n)
+
+
+@dataclass(frozen=True)
+class CoalescedUpdate:
+    """The fused n-fold update, precomputed at pause time.
+
+    Stores exactly the two scalars the paper attaches to the paused
+    sandbox: ``alpha_n = alpha^n`` and ``beta_sum`` (the geometric-series
+    term), so resume applies ``x -> alpha_n * x + beta_sum`` once.
+    """
+
+    alpha_n: float
+    beta_sum: float
+    n: int
+
+    @classmethod
+    def precompute(cls, alpha: float, beta: float, n: int) -> "CoalescedUpdate":
+        if n < 1:
+            raise ValueError(f"coalescing requires n >= 1, got {n}")
+        alpha_n = alpha ** n
+        if alpha == 1.0:
+            # Degenerate geometric series: sum of n ones.
+            beta_sum = beta * n
+        else:
+            beta_sum = beta * (1.0 - alpha_n) / (1.0 - alpha)
+        return cls(alpha_n=alpha_n, beta_sum=beta_sum, n=n)
+
+    def apply(self, x: float) -> float:
+        """Apply the fused update: one multiply, one add."""
+        return self.alpha_n * x + self.beta_sum
+
+
+def apply_n_times(update: AffineUpdate, x: float, n: int) -> float:
+    """Reference implementation: apply *update* to *x*, *n* times.
+
+    Exists for tests and the vanilla resume path; the property suite
+    checks ``CoalescedUpdate.precompute(a, b, n).apply(x)`` matches this
+    to floating-point tolerance for all valid inputs.
+    """
+    if n < 0:
+        raise ValueError(f"cannot apply an update {n} times")
+    value = x
+    for _ in range(n):
+        value = update.apply(value)
+    return value

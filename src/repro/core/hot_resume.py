@@ -1,0 +1,274 @@
+"""HORSE: the hot-resume fast path (paper §4).
+
+:class:`HorsePauseResume` replaces the vanilla pause/resume pair for
+uLL sandboxes.  Its configuration selects which of the two mechanisms
+are active, which yields the paper's four Figure-3 setups:
+
+============  ==========  ===============  ==================
+setup         P2SM        load coalescing  command fast path
+============  ==========  ===============  ==================
+``vanil``     (use :class:`~repro.hypervisor.pause_resume.VanillaPauseResume`)
+``ppsm``      on          off              off
+``coal``      off         on               off
+``horse``     on          on               on
+============  ==========  ===============  ==================
+
+Pause-time work (all while the sandbox is *not* latency critical):
+
+* dequeue the vCPUs (as vanilla does);
+* build ``merge_vcpus`` — the sandbox's vCPUs pre-sorted by the active
+  scheduler key;
+* tie the sandbox to a reserved ``ull_runqueue`` (load-balanced);
+* precompute P2SM's ``arrayB``/``posA`` against that queue;
+* precompute the coalesced load update's ``alpha^n`` and beta term.
+
+Resume-time work is then O(1): a trimmed command path, one parallel
+splice of ``merge_vcpus`` into the queue (two pointer writes per merge
+thread, threads run concurrently), and a single fused load update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.coalesce import CoalescedUpdate
+from repro.core.p2sm import MergeReport, P2SMState, sorted_merge_reference
+from repro.core.ull_runqueue import UllRunqueueManager
+from repro.hypervisor.costs import CostModel
+from repro.hypervisor.cpu import Host
+from repro.hypervisor.load_tracking import DEFAULT_ENTITY_WEIGHT
+from repro.hypervisor.pause_resume import (
+    STEP_FINALIZE,
+    STEP_LOAD,
+    STEP_LOCK,
+    STEP_MERGE,
+    STEP_PARSE,
+    STEP_SANITY,
+    PauseResult,
+    ResumeResult,
+)
+from repro.hypervisor.sandbox import Sandbox, SandboxState
+from repro.hypervisor.scheduler.base import SchedulerPolicy
+from repro.metrics.recorder import Breakdown
+
+
+@dataclass(frozen=True)
+class HorseConfig:
+    """Mechanism switches for the HORSE pause/resume path."""
+
+    enable_p2sm: bool = True
+    enable_coalescing: bool = True
+    fast_command_path: bool = True
+
+    @classmethod
+    def ppsm_only(cls) -> "HorseConfig":
+        return cls(enable_p2sm=True, enable_coalescing=False, fast_command_path=False)
+
+    @classmethod
+    def coalescing_only(cls) -> "HorseConfig":
+        return cls(enable_p2sm=False, enable_coalescing=True, fast_command_path=False)
+
+    @classmethod
+    def full(cls) -> "HorseConfig":
+        return cls()
+
+
+@dataclass
+class HorsePauseResult(PauseResult):
+    """Pause outcome plus the precompute work done for the fast resume."""
+
+    precompute_entries: int = 0
+    precompute_bytes: int = 0
+
+
+@dataclass
+class HorseResumeResult(ResumeResult):
+    """Resume outcome plus merge-thread accounting for §5.4."""
+
+    merge_threads: int = 0
+    pointer_writes: int = 0
+
+
+class HorsePauseResume:
+    """The HORSE fast path, bound to one host and one uLL manager."""
+
+    def __init__(
+        self,
+        host: Host,
+        policy: SchedulerPolicy,
+        costs: CostModel,
+        ull_manager: Optional[UllRunqueueManager] = None,
+        config: HorseConfig = HorseConfig.full(),
+    ) -> None:
+        self.host = host
+        self.policy = policy
+        self.costs = costs
+        self.config = config
+        self.ull = ull_manager or UllRunqueueManager(host)
+        self.resumes = 0
+        self.pauses = 0
+
+    # ------------------------------------------------------------------
+    # Pause: dequeue + precompute
+    # ------------------------------------------------------------------
+    def pause(self, sandbox: Sandbox, now_ns: int) -> HorsePauseResult:
+        sandbox.require_state(SandboxState.RUNNING)
+        # A sandbox that was HORSE-paused but then resumed through the
+        # *vanilla* path keeps its stale queue assignment (the vanilla
+        # path knows nothing about the uLL manager); detach it before
+        # re-assigning.
+        self.ull.unassign(sandbox)
+        sandbox.clear_horse_artifacts()
+        duration = self.costs.pause_fixed_ns
+        dequeued = 0
+        touched_ull_queues = set()
+        for vcpu in sandbox.vcpus:
+            if vcpu.runqueue_id is not None:
+                if self.ull.is_ull_queue(vcpu.runqueue_id):
+                    touched_ull_queues.add(vcpu.runqueue_id)
+                runqueue = self.host.runqueues[vcpu.runqueue_id]
+                if runqueue.dequeue(vcpu, now_ns):
+                    dequeued += 1
+                    duration += self.costs.pause_dequeue_vcpu_ns
+            vcpu.mark_paused()
+        # Dequeuing mutated reserved queues: every *other* paused
+        # sandbox tied to them holds arrayB entries referencing nodes
+        # that may just have been unlinked — refresh their
+        # precomputation now ("the updates are performed each time
+        # ull_runqueue is updated", §4.1.3).
+        for queue_id in touched_ull_queues:
+            self.ull.on_queue_updated(queue_id)
+        sandbox.transition(SandboxState.PAUSED)
+
+        # Build merge_vcpus: the sandbox's vCPUs, pre-sorted once by the
+        # scheduler key so resume never iterates them again.
+        for vcpu in sandbox.vcpus:
+            self.policy.on_enqueue(vcpu)
+        sandbox.merge_vcpus = sorted(sandbox.vcpus, key=self.policy.sort_key)
+        duration += self.costs.horse_pause_sort_vcpu_ns * sandbox.vcpu_count
+
+        # Tie to a reserved queue and precompute P2SM structures.
+        queue = self.ull.assign(sandbox)
+        precompute_entries = 0
+        if self.config.enable_p2sm:
+            sandbox.p2sm_state = P2SMState(sandbox.merge_vcpus, queue.entities)
+            report = sandbox.p2sm_state.last_report
+            precompute_entries = report.array_entries + report.chain_nodes
+            duration += self.costs.p2sm_refresh_entry_ns * precompute_entries
+
+        # Precompute the fused load update from the sandbox's vCPU count.
+        if self.config.enable_coalescing:
+            template = queue.load.enqueue_update(DEFAULT_ENTITY_WEIGHT)
+            sandbox.coalesced_update = CoalescedUpdate.precompute(
+                template.alpha, template.beta, sandbox.vcpu_count
+            )
+            duration += self.costs.horse_pause_coalesce_ns
+
+        self.pauses += 1
+        return HorsePauseResult(
+            sandbox_id=sandbox.sandbox_id,
+            duration_ns=round(duration),
+            dequeued_vcpus=dequeued,
+            precompute_entries=precompute_entries,
+            precompute_bytes=self.costs.horse_memory_bytes(sandbox.vcpu_count),
+        )
+
+    # ------------------------------------------------------------------
+    # Resume: the fast path
+    # ------------------------------------------------------------------
+    def resume(self, sandbox: Sandbox, now_ns: int) -> HorseResumeResult:
+        breakdown = Breakdown()
+        if self.config.fast_command_path:
+            breakdown.add(STEP_PARSE, round(self.costs.fast_parse_ns))
+            breakdown.add(STEP_LOCK, round(self.costs.fast_lock_ns))
+        else:
+            breakdown.add(STEP_PARSE, round(self.costs.resume_parse_ns))
+            breakdown.add(STEP_LOCK, round(self.costs.resume_lock_ns))
+
+        sandbox.require_state(SandboxState.PAUSED)
+        sandbox.transition(SandboxState.RESUMING)
+        breakdown.add(
+            STEP_SANITY,
+            round(
+                self.costs.fast_sanity_ns
+                if self.config.fast_command_path
+                else self.costs.resume_sanity_ns
+            ),
+        )
+
+        queue_id = sandbox.assigned_ull_runqueue
+        if queue_id is None:
+            raise RuntimeError(
+                f"{sandbox.sandbox_id}: resume without a pause-time "
+                "ull_runqueue assignment"
+            )
+        queue = self.ull.queue(queue_id)
+
+        # Step 4: merge merge_vcpus into the reserved queue.
+        merge_threads = 0
+        pointer_writes = 0
+        if self.config.enable_p2sm:
+            if sandbox.p2sm_state is None:
+                raise RuntimeError(
+                    f"{sandbox.sandbox_id}: P2SM enabled but no precomputed state"
+                )
+            report: MergeReport = sandbox.p2sm_state.merge()
+            merge_threads = report.threads
+            pointer_writes = report.pointer_writes
+            for vcpu in sandbox.vcpus:
+                vcpu.mark_runnable(queue.runqueue_id)
+            queue.enqueue_count += report.merged_elements
+            breakdown.add(
+                STEP_MERGE, round(self.costs.p2sm_merge_cost_ns(report.threads))
+            )
+        else:
+            # coal-only setup: vanilla sorted merge, but into the single
+            # reserved queue so one coalesced update covers all vCPUs.
+            assert sandbox.merge_vcpus is not None
+            scan_steps = sorted_merge_reference(queue.entities, sandbox.merge_vcpus)
+            for vcpu in sandbox.vcpus:
+                vcpu.mark_runnable(queue.runqueue_id)
+            queue.enqueue_count += sandbox.vcpu_count
+            breakdown.add(
+                STEP_MERGE,
+                round(self.costs.merge_cost_ns(sandbox.vcpu_count, scan_steps)),
+            )
+
+        # Step 5: load update — fused or per-vCPU.
+        if self.config.enable_coalescing:
+            update = sandbox.coalesced_update
+            if update is None:
+                raise RuntimeError(
+                    f"{sandbox.sandbox_id}: coalescing enabled but no "
+                    "precomputed update"
+                )
+            queue.load.apply_coalesced(now_ns, update.alpha_n, update.beta_sum)
+            breakdown.add(STEP_LOAD, round(self.costs.coalesced_update_ns))
+        else:
+            for vcpu in sandbox.vcpus:
+                queue.load.enqueue_entity(now_ns, vcpu.weight)
+            breakdown.add(
+                STEP_LOAD, round(self.costs.load_update_cost_ns(sandbox.vcpu_count))
+            )
+
+        # Step 6: finalize.
+        self.ull.unassign(sandbox)
+        sandbox.clear_horse_artifacts()
+        sandbox.transition(SandboxState.RUNNING)
+        sandbox.resume_count += 1
+        if not self.config.fast_command_path:
+            breakdown.add(STEP_FINALIZE, round(self.costs.resume_finalize_ns))
+
+        # Other paused sandboxes tied to this queue must refresh their
+        # precomputation (the queue just changed under them).
+        self.ull.on_queue_updated(queue.runqueue_id)
+
+        self.resumes += 1
+        return HorseResumeResult(
+            sandbox_id=sandbox.sandbox_id,
+            breakdown=breakdown,
+            runqueue_ids=[queue.runqueue_id],
+            merge_threads=merge_threads,
+            pointer_writes=pointer_writes,
+        )

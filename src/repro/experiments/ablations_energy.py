@@ -1,0 +1,84 @@
+"""Energy/DVFS ablation: why coalesce instead of skip? (DESIGN.md §5)
+
+The obvious cheaper alternative to HORSE's coalesced load update is to
+*skip* step 5 on the fast path altogether.  This ablation quantifies
+what that would cost: after resuming an n-vCPU sandbox onto the
+ull_runqueue,
+
+* **coalesced** leaves the load variable exactly where n per-vCPU folds
+  would (error 0, identical DVFS frequency, identical power);
+* **skipped** leaves the pre-resume load, so the governor underclocks
+  the core hosting n freshly runnable vCPUs — the frequency error and
+  the resulting power deficit grow with n.
+
+This is the design argument for §4.2: coalescing keeps the O(1) cost
+*and* the exact semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.coalesce import CoalescedUpdate
+from repro.hypervisor.dvfs import DvfsGovernor, FrequencyRange, GovernorMode
+from repro.hypervisor.energy import CorePowerModel, frequency_error_ratio
+from repro.hypervisor.load_tracking import DEFAULT_ENTITY_WEIGHT, RunqueueLoad
+
+
+@dataclass
+class EnergyAblationPoint:
+    vcpus: int
+    true_load: float
+    coalesced_load: float
+    skipped_load: float
+    coalesced_freq_error: float
+    skipped_freq_error: float
+    skipped_power_deficit_watts: float
+
+
+def ablate_skip_vs_coalesce(
+    vcpu_counts: Sequence[int] = (1, 4, 8, 16, 36),
+    initial_load: float = 50.0,
+) -> List[EnergyAblationPoint]:
+    """Compare the three load-update policies after one resume."""
+    governor = DvfsGovernor(
+        mode=GovernorMode.ONDEMAND,
+        frequency=FrequencyRange(800_000, 3_500_000),
+    )
+    power = CorePowerModel()
+    points: List[EnergyAblationPoint] = []
+    for vcpus in vcpu_counts:
+        # Ground truth: n per-vCPU PELT folds (the vanilla semantics).
+        truth = RunqueueLoad(value=initial_load)
+        for _ in range(vcpus):
+            truth.enqueue_entity(0, DEFAULT_ENTITY_WEIGHT)
+
+        # HORSE: one precomputed fused update.
+        fused_state = RunqueueLoad(value=initial_load)
+        template = fused_state.enqueue_update(DEFAULT_ENTITY_WEIGHT)
+        fused = CoalescedUpdate.precompute(template.alpha, template.beta, vcpus)
+        fused_state.apply_coalesced(0, fused.alpha_n, fused.beta_sum)
+
+        # Naive fast path: skip the update entirely.
+        skipped_load = initial_load
+
+        coalesced_error = frequency_error_ratio(
+            governor, truth.value, fused_state.value
+        )
+        skipped_error = frequency_error_ratio(governor, truth.value, skipped_load)
+        true_khz = governor.target_khz(truth.value)
+        stale_khz = governor.target_khz(skipped_load)
+        deficit = power.power_watts(true_khz) - power.power_watts(stale_khz)
+        points.append(
+            EnergyAblationPoint(
+                vcpus=vcpus,
+                true_load=truth.value,
+                coalesced_load=fused_state.value,
+                skipped_load=skipped_load,
+                coalesced_freq_error=coalesced_error,
+                skipped_freq_error=skipped_error,
+                skipped_power_deficit_watts=deficit,
+            )
+        )
+    return points

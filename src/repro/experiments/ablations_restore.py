@@ -1,0 +1,74 @@
+"""Restore ablation: the FaaSnap trade-off behind the paper's 1300 us.
+
+The paper treats *restore* as a flat ~1300 us baseline.  Mechanistically
+(FaaSnap), that number is a point on a curve: prefetch more of the
+function's working set and the restore call takes longer but the first
+request faults less; prefetch less and the restore returns quickly but
+the first request pays major faults.  This ablation sweeps the prefetch
+fraction and reports
+
+* restore latency (the paper's metric),
+* first-request fault penalty,
+* effective first-invocation readiness (restore + penalty) — the
+  quantity a latency-sensitive user actually experiences,
+
+showing that no point on the curve approaches warm/HORSE territory,
+which is the paper's argument for attacking the resume path instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hypervisor.memory import (
+    DEFAULT_WORKING_SET,
+    GuestMemory,
+    LazyRestoreModel,
+    WorkingSet,
+)
+
+
+@dataclass
+class RestorePoint:
+    prefetch_fraction: float
+    prefetched_pages: int
+    restore_ns: int
+    first_request_penalty_ns: int
+
+    @property
+    def effective_ready_ns(self) -> int:
+        """Restore call + first-request fault cost."""
+        return self.restore_ns + self.first_request_penalty_ns
+
+
+def ablate_restore_prefetch(
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    working_set: WorkingSet = DEFAULT_WORKING_SET,
+    memory_mb: int = 512,
+    model: LazyRestoreModel = LazyRestoreModel(),
+) -> List[RestorePoint]:
+    """Sweep the fraction of the working set prefetched at restore."""
+    points: List[RestorePoint] = []
+    ordered_pages = sorted(working_set.pages)
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        prefetch_count = round(fraction * len(ordered_pages))
+        prefetched = WorkingSet(pages=frozenset(ordered_pages[:prefetch_count]))
+
+        memory = GuestMemory(size_mb=memory_mb)
+        memory.evict_all()
+        memory.prefetch(prefetched.pages)
+
+        restore_ns = model.restore_ns(prefetched)
+        penalty_ns = model.first_request_penalty_ns(memory, working_set)
+        points.append(
+            RestorePoint(
+                prefetch_fraction=fraction,
+                prefetched_pages=prefetch_count,
+                restore_ns=restore_ns,
+                first_request_penalty_ns=penalty_ns,
+            )
+        )
+    return points

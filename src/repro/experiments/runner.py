@@ -1,0 +1,117 @@
+"""Shared experiment machinery.
+
+Every experiment driver follows the paper's procedure: repeat the
+measurement (10x by default, "enough for us to achieve 95% confidence
+interval <= 3%"), vary one parameter, and summarize with mean + CI.
+This module hosts the repetition loop, per-repetition RNG forking, and
+small helpers for building fresh fixtures so repetitions never share
+mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Iterable, List, Sequence, TypeVar
+
+from repro.hypervisor.platform import VirtualizationPlatform, platform_by_name
+from repro.hypervisor.sandbox import Sandbox
+from repro.metrics.stats import ConfidenceInterval, confidence_interval_95
+from repro.sim.rng import RngRegistry
+
+T = TypeVar("T")
+
+#: The paper's repetition count.
+DEFAULT_REPETITIONS = 10
+
+#: The vCPU sweep of Figures 2/3 and the §5.2/§5.4 studies.
+VCPU_SWEEP = (1, 2, 4, 8, 16, 24, 36)
+
+
+@dataclass
+class RepeatedMeasurement:
+    """Mean/CI over repetitions of one scalar measurement."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"{self.label}: no values recorded")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def ci95(self) -> ConfidenceInterval:
+        return confidence_interval_95(self.values)
+
+
+def repeat(
+    measure: Callable[[RngRegistry, int], float],
+    repetitions: int = DEFAULT_REPETITIONS,
+    seed: int = 0,
+    label: str = "measurement",
+) -> RepeatedMeasurement:
+    """Run *measure* once per repetition with a forked RNG registry.
+
+    *measure* receives ``(rngs, repetition_index)`` and returns one
+    scalar.  Fixtures must be built inside *measure* so repetitions are
+    independent.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    root = RngRegistry(seed)
+    result = RepeatedMeasurement(label=label)
+    for index in range(repetitions):
+        result.add(measure(root.fork(f"rep-{index}"), index))
+    return result
+
+
+def fresh_platform(name: str = "firecracker", **kwargs) -> VirtualizationPlatform:
+    """A brand-new hypervisor instance (no shared run-queue state)."""
+    return platform_by_name(name, **kwargs)
+
+
+def paused_sandbox(
+    virt: VirtualizationPlatform, vcpus: int, memory_mb: int = 512
+) -> Sandbox:
+    """Create, place, and vanilla-pause one sandbox at t=0."""
+    sandbox = Sandbox(vcpus=vcpus, memory_mb=memory_mb)
+    virt.vanilla.place_initial(sandbox, 0)
+    virt.vanilla.pause(sandbox, 0)
+    return sandbox
+
+
+@dataclass
+class SweepSeries(Generic[T]):
+    """One named series over a parameter sweep (e.g. resume ns vs vCPUs)."""
+
+    name: str
+    parameter: str
+    points: Dict[T, RepeatedMeasurement] = field(default_factory=dict)
+
+    def add_point(self, value: T, measurement: RepeatedMeasurement) -> None:
+        self.points[value] = measurement
+
+    def parameters(self) -> List[T]:
+        return sorted(self.points)
+
+    def means(self) -> List[float]:
+        return [self.points[p].mean for p in self.parameters()]
+
+    def as_rows(self) -> List[tuple]:
+        return [
+            (p, self.points[p].mean, self.points[p].ci95.half_width)
+            for p in self.parameters()
+        ]
+
+
+def max_relative_ci(series: Iterable[RepeatedMeasurement]) -> float:
+    """Largest CI half-width / mean across measurements (QA check:
+    the paper targets <= 3 %)."""
+    worst = 0.0
+    for measurement in series:
+        worst = max(worst, measurement.ci95.relative_half_width)
+    return worst

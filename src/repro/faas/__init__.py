@@ -1,0 +1,70 @@
+"""FaaS platform layer: functions, triggers, pools, start strategies."""
+
+from repro.faas.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.faas.cluster import (
+    FaaSCluster,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    WarmAffinityPlacement,
+)
+from repro.faas.function import FunctionRegistry, FunctionSpec
+from repro.faas.gateway import FaaSGateway
+from repro.faas.invocation import Invocation, StartType
+from repro.faas.keepalive import FixedKeepAlive, HistogramKeepAlive, KeepAlivePolicy
+from repro.faas.platform import FaaSPlatform
+from repro.faas.pool import SandboxPool
+from repro.faas.startup import (
+    ColdStart,
+    HorseStart,
+    PoolMissError,
+    RestoreStart,
+    StartOutcome,
+    StartStrategy,
+    WarmStart,
+)
+from repro.faas.transport import (
+    ALL_TRANSPORTS,
+    KERNEL_BYPASS,
+    LOCAL,
+    NANO_FABRIC,
+    TCP,
+    TransportKind,
+    TransportModel,
+    transport_by_name,
+)
+
+__all__ = [
+    "AutoscalerConfig",
+    "PoolAutoscaler",
+    "FaaSCluster",
+    "LeastLoadedPlacement",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "WarmAffinityPlacement",
+    "ALL_TRANSPORTS",
+    "KERNEL_BYPASS",
+    "LOCAL",
+    "NANO_FABRIC",
+    "TCP",
+    "TransportKind",
+    "TransportModel",
+    "transport_by_name",
+    "FunctionRegistry",
+    "FunctionSpec",
+    "FaaSGateway",
+    "Invocation",
+    "StartType",
+    "FixedKeepAlive",
+    "HistogramKeepAlive",
+    "KeepAlivePolicy",
+    "FaaSPlatform",
+    "SandboxPool",
+    "ColdStart",
+    "HorseStart",
+    "PoolMissError",
+    "RestoreStart",
+    "StartOutcome",
+    "StartStrategy",
+    "WarmStart",
+]

@@ -1,0 +1,130 @@
+"""Provisioned-concurrency autoscaler.
+
+The premium always-warm options the paper leans on (Lambda Provisioned
+Concurrency, Azure Premium, Alibaba Provisioned Mode) let tenants fix a
+pool size; providers additionally auto-scale that target from observed
+traffic.  This autoscaler closes that loop for the reproduction's
+platform: it watches per-function trigger rates over a sliding window
+and resizes the warm pool toward
+
+    target = ceil(rate * expected_busy_time * headroom)
+
+(Little's law with a safety factor), clamped to [min, max].  Scaling
+up provisions HORSE-paused sandboxes ahead of demand; scaling down
+lets keep-alive evict the excess by lowering the protected quota.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.faas.platform import FaaSPlatform
+from repro.sim.event import Event, EventPriority
+from repro.sim.units import SECOND, seconds
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    window_ns: int = seconds(10)        # rate-estimation window
+    period_ns: int = seconds(2)         # reconciliation period
+    headroom: float = 1.5               # safety factor over Little's law
+    min_pool: int = 1
+    max_pool: int = 32
+
+    def __post_init__(self) -> None:
+        if self.window_ns <= 0 or self.period_ns <= 0:
+            raise ValueError("window and period must be positive")
+        if self.headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1.0, got {self.headroom}")
+        if not 0 <= self.min_pool <= self.max_pool:
+            raise ValueError(
+                f"bad pool bounds [{self.min_pool}, {self.max_pool}]"
+            )
+
+
+class PoolAutoscaler:
+    """Sliding-window rate tracker + periodic pool reconciliation."""
+
+    def __init__(
+        self,
+        faas: FaaSPlatform,
+        function_name: str,
+        expected_busy_ns: int,
+        config: AutoscalerConfig = AutoscalerConfig(),
+    ) -> None:
+        if expected_busy_ns <= 0:
+            raise ValueError(
+                f"expected busy time must be positive, got {expected_busy_ns}"
+            )
+        self.faas = faas
+        self.function_name = function_name
+        self.expected_busy_ns = expected_busy_ns
+        self.config = config
+        self._arrivals: Deque[int] = deque()
+        self._tick_event: Optional[Event] = None
+        self._running = False
+        self.reconciliations = 0
+        self.scale_ups = 0
+        self.current_target = config.min_pool
+
+    # ------------------------------------------------------------------
+    def observe_trigger(self) -> None:
+        """Record one trigger at the current instant."""
+        self._arrivals.append(self.faas.engine.now)
+        self._expire_old()
+
+    def _expire_old(self) -> None:
+        horizon = self.faas.engine.now - self.config.window_ns
+        while self._arrivals and self._arrivals[0] < horizon:
+            self._arrivals.popleft()
+
+    def observed_rate_per_second(self) -> float:
+        self._expire_old()
+        window_s = self.config.window_ns / SECOND
+        return len(self._arrivals) / window_s
+
+    def desired_pool_size(self) -> int:
+        """Little's law with headroom, clamped to the config bounds."""
+        rate = self.observed_rate_per_second()
+        busy_s = self.expected_busy_ns / SECOND
+        raw = math.ceil(rate * busy_s * self.config.headroom)
+        return max(self.config.min_pool, min(self.config.max_pool, raw))
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def _schedule_tick(self) -> None:
+        self._tick_event = self.faas.engine.schedule_after(
+            self.config.period_ns,
+            self._reconcile,
+            priority=EventPriority.BACKGROUND,
+            label=f"autoscale:{self.function_name}",
+        )
+
+    def _reconcile(self) -> None:
+        if not self._running:
+            return
+        self.reconciliations += 1
+        target = self.desired_pool_size()
+        self.current_target = target
+        pooled = self.faas.pool.size(self.function_name)
+        if pooled < target:
+            self.faas.provision_warm(self.function_name, count=target - pooled)
+            self.scale_ups += 1
+        # Scale-down: shrink the protected quota; keep-alive evicts the
+        # rest naturally (no abrupt teardown of warm capacity).
+        self.faas.pool.mark_provisioned(self.function_name, target)
+        self._schedule_tick()

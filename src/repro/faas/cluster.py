@@ -1,0 +1,168 @@
+"""Multi-host FaaS cluster (extension beyond the paper's single node).
+
+The paper evaluates one server; a deployable platform schedules
+sandboxes across many.  :class:`FaaSCluster` runs one
+:class:`~repro.faas.platform.FaaSPlatform` per host over a shared
+engine and routes each trigger with a pluggable placement policy.
+Functions are registered (and optionally pre-warmed) on every host, so
+any host can serve any function — the provisioned-concurrency model.
+
+Placement policies:
+
+* ``round-robin`` — cycle hosts (baseline);
+* ``least-loaded`` — host with the fewest in-flight invocations;
+* ``warm-affinity`` — prefer hosts with a pooled warm sandbox for the
+  function, falling back to least-loaded (avoids needless cold starts).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.hot_resume import HorseConfig
+from repro.faas.function import FunctionSpec
+from repro.faas.invocation import Invocation, StartType
+from repro.faas.platform import FaaSPlatform
+from repro.hypervisor.platform import platform_by_name
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the host index for one trigger."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
+        """Return the index of the host to route to."""
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
+        index = self._next % len(cluster.hosts)
+        self._next += 1
+        return index
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    name = "least-loaded"
+
+    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
+        return min(
+            range(len(cluster.hosts)),
+            key=lambda i: (cluster.in_flight[i], i),
+        )
+
+
+class WarmAffinityPlacement(PlacementPolicy):
+    name = "warm-affinity"
+
+    def __init__(self) -> None:
+        self._fallback = LeastLoadedPlacement()
+
+    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
+        warm = [
+            i
+            for i, host in enumerate(cluster.hosts)
+            if host.pool.size(function_name) > 0
+        ]
+        if warm:
+            return min(warm, key=lambda i: (cluster.in_flight[i], i))
+        return self._fallback.choose(cluster, function_name)
+
+
+@dataclass
+class ClusterStats:
+    triggers: int = 0
+    per_host_triggers: Dict[int, int] = field(default_factory=dict)
+    cold_fallbacks: int = 0
+
+
+class FaaSCluster:
+    """A fleet of single-host platforms behind one routing layer."""
+
+    def __init__(
+        self,
+        hosts: int,
+        platform_name: str = "firecracker",
+        seed: int = 0,
+        placement: Optional[PlacementPolicy] = None,
+        horse_config: HorseConfig = HorseConfig.full(),
+    ) -> None:
+        if hosts < 1:
+            raise ValueError(f"cluster needs >= 1 host, got {hosts}")
+        self.engine = Engine()
+        root = RngRegistry(seed)
+        self.hosts: List[FaaSPlatform] = [
+            FaaSPlatform(
+                engine=self.engine,
+                virt=platform_by_name(platform_name),
+                rngs=root.fork(f"host-{index}"),
+                horse_config=horse_config,
+            )
+            for index in range(hosts)
+        ]
+        self.placement = placement or WarmAffinityPlacement()
+        self.in_flight: Dict[int, int] = {i: 0 for i in range(hosts)}
+        self.stats = ClusterStats()
+
+    # ------------------------------------------------------------------
+    def register(self, spec: FunctionSpec) -> None:
+        """Deploy the function on every host."""
+        for host in self.hosts:
+            host.register(spec)
+
+    def provision_warm(
+        self, function_name: str, per_host: int, use_horse: Optional[bool] = None
+    ) -> None:
+        for host in self.hosts:
+            host.provision_warm(function_name, count=per_host, use_horse=use_horse)
+
+    # ------------------------------------------------------------------
+    def trigger(
+        self, function_name: str, start_type: StartType, **kwargs
+    ) -> Invocation:
+        """Route one trigger; warm-path misses fall back to cold on the
+        chosen host (counted in stats)."""
+        index = self.placement.choose(self, function_name)
+        host = self.hosts[index]
+        self.stats.triggers += 1
+        self.stats.per_host_triggers[index] = (
+            self.stats.per_host_triggers.get(index, 0) + 1
+        )
+        effective = start_type
+        if (
+            start_type in (StartType.WARM, StartType.HORSE)
+            and host.pool.size(function_name) == 0
+        ):
+            effective = StartType.COLD
+            self.stats.cold_fallbacks += 1
+        self.in_flight[index] += 1
+        invocation = host.trigger(function_name, effective, **kwargs)
+        self.engine.schedule_at(
+            invocation.exec_end_ns,
+            lambda: self._finish(index),
+            label=f"cluster-finish:{invocation.invocation_id}",
+        )
+        return invocation
+
+    def _finish(self, index: int) -> None:
+        self.in_flight[index] -= 1
+
+    # ------------------------------------------------------------------
+    def total_pooled(self, function_name: str) -> int:
+        return sum(host.pool.size(function_name) for host in self.hosts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaaSCluster(hosts={len(self.hosts)}, "
+            f"placement={self.placement.name}, triggers={self.stats.triggers})"
+        )

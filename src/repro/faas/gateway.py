@@ -1,0 +1,143 @@
+"""The trigger gateway: turns events into invocation timelines.
+
+The gateway is the FaaS platform's front door.  ``trigger`` obtains a
+sandbox through the requested start strategy, samples the function's
+execution duration, optionally runs the *real* function logic, and
+schedules the completion event that pauses the sandbox back into the
+pool.
+
+Per the paper's §2 setup, network/trigger transport is considered free
+("we consider the data center network stack fast enough to ensure the
+nanosecond-scale trigger"), so the pipeline is exactly
+``initialization + execution``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.hot_resume import HorsePauseResume
+from repro.faas.function import FunctionRegistry, FunctionSpec
+from repro.faas.invocation import Invocation, StartType
+from repro.faas.pool import SandboxPool
+from repro.faas.startup import StartOutcome, StartStrategy
+from repro.hypervisor.platform import VirtualizationPlatform
+from repro.hypervisor.sandbox import Sandbox
+from repro.sim.engine import Engine
+from repro.sim.tracing import NULL_TRACE, TraceLog
+
+
+class FaaSGateway:
+    """Dispatches triggers through configurable start strategies."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        virt: VirtualizationPlatform,
+        registry: FunctionRegistry,
+        pool: SandboxPool,
+        strategies: Dict[StartType, StartStrategy],
+        rng: random.Random,
+        horse: Optional[HorsePauseResume] = None,
+        trace: TraceLog = NULL_TRACE,
+    ) -> None:
+        self.engine = engine
+        self.virt = virt
+        self.registry = registry
+        self.pool = pool
+        self.strategies = strategies
+        self.rng = rng
+        self.horse = horse
+        self.trace = trace
+        self.invocations: List[Invocation] = []
+        #: hooks fired when an invocation completes (experiments attach)
+        self.completion_hooks: List[Callable[[Invocation], None]] = []
+
+    # ------------------------------------------------------------------
+    def trigger(
+        self,
+        function_name: str,
+        start_type: StartType,
+        run_logic: bool = False,
+        return_to_pool: bool = True,
+        extra_delay_ns: int = 0,
+    ) -> Invocation:
+        """Fire one invocation at the current simulated instant.
+
+        ``extra_delay_ns`` injects interference (e.g. merge-thread
+        preemption) into the execution window; ``run_logic`` executes
+        the real function body and stores its result.
+        """
+        spec = self.registry.get(function_name)
+        now = self.engine.now
+        invocation = Invocation(function_name=function_name, trigger_ns=now)
+        self.invocations.append(invocation)
+
+        strategy = self.strategies.get(start_type)
+        if strategy is None:
+            raise ValueError(
+                f"no strategy configured for start type {start_type.value!r}"
+            )
+        outcome: StartOutcome = strategy.obtain(spec, now)
+        invocation.start_type = outcome.start_type
+        invocation.sandbox_id = outcome.sandbox.sandbox_id
+        invocation.sandbox_ready_ns = now + outcome.init_ns
+        invocation.exec_start_ns = invocation.sandbox_ready_ns
+
+        exec_ns = spec.workload.sample_duration_ns(self.rng)
+        invocation.interference_ns = max(0, extra_delay_ns)
+        invocation.exec_end_ns = (
+            invocation.exec_start_ns + exec_ns + invocation.interference_ns
+        )
+
+        if run_logic:
+            payload = spec.workload.example_payload(self.rng)
+            try:
+                invocation.result = spec.workload.execute(payload)
+            except Exception as exc:  # record, don't crash the platform
+                invocation.error = f"{type(exc).__name__}: {exc}"
+
+        self.trace.record(
+            now, "gateway", "trigger",
+            function=function_name, start=outcome.start_type.value,
+            init_ns=outcome.init_ns, invocation=invocation.invocation_id,
+        )
+        self.engine.schedule_at(
+            invocation.exec_end_ns,
+            lambda: self._complete(spec, invocation, outcome.sandbox, return_to_pool),
+            label=f"complete:{invocation.invocation_id}",
+        )
+        return invocation
+
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        spec: FunctionSpec,
+        invocation: Invocation,
+        sandbox: Sandbox,
+        return_to_pool: bool,
+    ) -> None:
+        """Function body finished: pause the sandbox back into the pool."""
+        now = self.engine.now
+        if return_to_pool:
+            if spec.is_ull and self.horse is not None:
+                self.horse.pause(sandbox, now)
+            else:
+                self.virt.vanilla.pause(sandbox, now)
+            self.pool.release(spec.name, sandbox)
+        self.trace.record(
+            now, "gateway", "complete",
+            function=spec.name, invocation=invocation.invocation_id,
+        )
+        for hook in self.completion_hooks:
+            hook(invocation)
+
+    # ------------------------------------------------------------------
+    def completed_invocations(self, function_name: Optional[str] = None) -> List[Invocation]:
+        return [
+            inv
+            for inv in self.invocations
+            if inv.completed
+            and (function_name is None or inv.function_name == function_name)
+        ]

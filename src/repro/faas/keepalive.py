@@ -1,0 +1,85 @@
+"""Keep-alive policies: how long an idle warm sandbox survives.
+
+FaaS platforms keep a sandbox around after its function finishes so a
+subsequent trigger gets a warm start (paper §1: "a keep-alive strategy,
+which consists of keeping a sandbox active for a fixed time").  Two
+policies:
+
+* :class:`FixedKeepAlive` — the industry default (e.g. 10-20 min on
+  the large providers; OpenWhisk's classic 10 min grace period);
+* :class:`HistogramKeepAlive` — the "Serverless in the Wild" (ATC'20)
+  adaptive policy: the window follows the observed idle-time
+  distribution of that function, here its observed p99 idle gap.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.metrics.stats import percentile
+from repro.sim.units import seconds
+
+
+class KeepAlivePolicy(abc.ABC):
+    """Decides the eviction deadline of an idle warm sandbox."""
+
+    @abc.abstractmethod
+    def keep_alive_ns(self, function_name: str) -> int:
+        """How long (ns) an idle sandbox of this function is retained."""
+
+    def observe_idle_gap(self, function_name: str, gap_ns: int) -> None:
+        """Feed an observed trigger-to-trigger idle gap (optional)."""
+
+
+class FixedKeepAlive(KeepAlivePolicy):
+    """Constant keep-alive window for every function."""
+
+    def __init__(self, window_ns: int = seconds(600)) -> None:
+        if window_ns < 0:
+            raise ValueError(f"keep-alive window must be >= 0, got {window_ns}")
+        self.window_ns = window_ns
+
+    def keep_alive_ns(self, function_name: str) -> int:
+        return self.window_ns
+
+
+class HistogramKeepAlive(KeepAlivePolicy):
+    """Per-function adaptive window from observed idle gaps.
+
+    Until enough gaps are observed the policy falls back to a default
+    window; afterwards it keeps sandboxes for the p99 idle gap plus a
+    safety margin, the essence of the ATC'20 histogram policy.
+    """
+
+    def __init__(
+        self,
+        default_window_ns: int = seconds(600),
+        min_observations: int = 8,
+        margin: float = 1.1,
+        max_window_ns: int = seconds(3600),
+    ) -> None:
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1.0, got {margin}")
+        self.default_window_ns = default_window_ns
+        self.min_observations = min_observations
+        self.margin = margin
+        self.max_window_ns = max_window_ns
+        self._gaps: Dict[str, List[int]] = defaultdict(list)
+
+    def observe_idle_gap(self, function_name: str, gap_ns: int) -> None:
+        if gap_ns < 0:
+            raise ValueError(f"negative idle gap {gap_ns}")
+        self._gaps[function_name].append(gap_ns)
+
+    def keep_alive_ns(self, function_name: str) -> int:
+        gaps = self._gaps.get(function_name, [])
+        if len(gaps) < self.min_observations:
+            return self.default_window_ns
+        window = round(percentile([float(g) for g in gaps], 99) * self.margin)
+        return min(window, self.max_window_ns)

@@ -1,0 +1,126 @@
+"""The warm sandbox pool.
+
+Holds paused, initialized sandboxes per function.  A warm start is a
+pool hit; provisioned concurrency keeps the pool from ever emptying for
+subscribed functions; the keep-alive policy evicts idle non-provisioned
+sandboxes after their window.
+
+The pool only *stores* — pausing/resuming is the caller's job (the
+platform picks the vanilla or the HORSE path per sandbox), so the pool
+never depends on which resume machinery is in use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.faas.keepalive import KeepAlivePolicy
+from repro.hypervisor.sandbox import Sandbox, SandboxState
+from repro.sim.engine import Engine
+from repro.sim.event import Event
+from repro.sim.tracing import NULL_TRACE, TraceLog
+
+
+class SandboxPool:
+    """Per-function store of paused warm sandboxes with keep-alive."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        keepalive: KeepAlivePolicy,
+        on_evict: Optional[Callable[[str, Sandbox], None]] = None,
+        trace: TraceLog = NULL_TRACE,
+    ) -> None:
+        self._engine = engine
+        self._keepalive = keepalive
+        self._on_evict = on_evict
+        self._trace = trace
+        self._idle: Dict[str, Deque[Sandbox]] = defaultdict(deque)
+        #: sandbox_id -> pending eviction event (cancelled on acquire)
+        self._eviction_events: Dict[str, Event] = {}
+        #: functions whose sandboxes are never evicted
+        self._provisioned: Dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def mark_provisioned(self, function_name: str, count: int) -> None:
+        """Exempt up to *count* sandboxes of this function from eviction."""
+        if count < 0:
+            raise ValueError(f"negative provisioned count {count}")
+        self._provisioned[function_name] = count
+
+    def provisioned_count(self, function_name: str) -> int:
+        return self._provisioned.get(function_name, 0)
+
+    def size(self, function_name: str) -> int:
+        return len(self._idle.get(function_name, ()))
+
+    def total_size(self) -> int:
+        return sum(len(q) for q in self._idle.values())
+
+    def idle_sandboxes(self, function_name: str) -> List[Sandbox]:
+        return list(self._idle.get(function_name, ()))
+
+    # ------------------------------------------------------------------
+    def acquire(self, function_name: str) -> Optional[Sandbox]:
+        """Take a warm (paused) sandbox, FIFO; None on pool miss."""
+        queue = self._idle.get(function_name)
+        if not queue:
+            self.misses += 1
+            return None
+        sandbox = queue.popleft()
+        event = self._eviction_events.pop(sandbox.sandbox_id, None)
+        if event is not None:
+            event.cancel()
+        self.hits += 1
+        self._trace.record(
+            self._engine.now, "pool", "acquire",
+            function=function_name, sandbox=sandbox.sandbox_id,
+        )
+        return sandbox
+
+    def release(self, function_name: str, sandbox: Sandbox) -> None:
+        """Return a *paused* sandbox to the pool; arms keep-alive unless
+        the function's provisioned quota covers it."""
+        if sandbox.state is not SandboxState.PAUSED:
+            raise ValueError(
+                f"pool only stores paused sandboxes; {sandbox.sandbox_id} "
+                f"is {sandbox.state.value}"
+            )
+        queue = self._idle[function_name]
+        queue.append(sandbox)
+        self._trace.record(
+            self._engine.now, "pool", "release",
+            function=function_name, sandbox=sandbox.sandbox_id,
+        )
+        if len(queue) <= self.provisioned_count(function_name):
+            return  # inside the always-warm quota: no eviction timer
+        window = self._keepalive.keep_alive_ns(function_name)
+        event = self._engine.schedule_after(
+            window,
+            lambda: self._evict(function_name, sandbox),
+            label=f"keepalive-evict:{sandbox.sandbox_id}",
+        )
+        self._eviction_events[sandbox.sandbox_id] = event
+
+    def _evict(self, function_name: str, sandbox: Sandbox) -> None:
+        queue = self._idle.get(function_name)
+        if not queue or sandbox not in queue:
+            return  # acquired (and maybe re-released) in the meantime
+        queue.remove(sandbox)
+        self._eviction_events.pop(sandbox.sandbox_id, None)
+        sandbox.transition(SandboxState.STOPPED)
+        self.evictions += 1
+        self._trace.record(
+            self._engine.now, "pool", "evict",
+            function=function_name, sandbox=sandbox.sandbox_id,
+        )
+        if self._on_evict is not None:
+            self._on_evict(function_name, sandbox)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(q) for name, q in self._idle.items() if q}
+        return f"SandboxPool({sizes}, hits={self.hits}, misses={self.misses})"

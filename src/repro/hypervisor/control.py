@@ -1,0 +1,185 @@
+"""The hypervisor control plane: the command path of step ①.
+
+The paper's resume step ① is "the input parameters associated with the
+resume command are parsed and passed to the virtualization system if
+the parameters are correctly parsed".  In Firecracker that is the VMM's
+HTTP API (PATCH /vm {"state": "Resumed"}); in Xen, the toolstack.  This
+module implements that command path for real: requests are dictionaries
+(the JSON bodies), parsed into typed commands, validated, and routed to
+the pause/resume machinery — so malformed-input behavior, unknown
+sandboxes, and state conflicts are testable instead of assumed.
+
+The *time* of parsing is already charged inside the resume paths (the
+``resume_parse_ns`` / ``fast_parse_ns`` constants); the control plane
+adds the functional behavior on top.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # cycle guard: hot_resume imports hypervisor modules
+    from repro.core.hot_resume import HorsePauseResume
+
+from repro.hypervisor.pause_resume import (
+    PauseResult,
+    ResumeResult,
+    VanillaPauseResume,
+)
+from repro.hypervisor.sandbox import Sandbox, SandboxError
+
+
+class CommandError(Exception):
+    """A malformed or unroutable control request (HTTP 400 analog)."""
+
+
+class UnknownSandboxError(CommandError):
+    """The request names a sandbox the VMM does not manage (404)."""
+
+
+class Action(enum.Enum):
+    PAUSE = "pause"
+    RESUME = "resume"
+    STATUS = "status"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A parsed, validated control request."""
+
+    action: Action
+    sandbox_id: str
+    fast_path: bool = False
+
+    @classmethod
+    def parse(cls, request: Mapping[str, Any]) -> "Command":
+        """Parse one request body (the paper's step ①).
+
+        Required fields: ``action`` (pause/resume/status) and
+        ``sandbox_id`` (non-empty string).  Optional: ``fast_path``
+        (bool) — route a resume through HORSE.  Unknown fields are
+        rejected, mirroring Firecracker's strict deserialization.
+        """
+        if not isinstance(request, Mapping):
+            raise CommandError(f"request must be a mapping, got {type(request)}")
+        unknown = set(request) - {"action", "sandbox_id", "fast_path"}
+        if unknown:
+            raise CommandError(f"unknown fields: {sorted(unknown)}")
+        raw_action = request.get("action")
+        if not isinstance(raw_action, str):
+            raise CommandError("missing or non-string 'action'")
+        try:
+            action = Action(raw_action.lower())
+        except ValueError:
+            raise CommandError(
+                f"unknown action {raw_action!r}; expected one of "
+                f"{[a.value for a in Action]}"
+            ) from None
+        sandbox_id = request.get("sandbox_id")
+        if not isinstance(sandbox_id, str) or not sandbox_id:
+            raise CommandError("missing or empty 'sandbox_id'")
+        fast_path = request.get("fast_path", False)
+        if not isinstance(fast_path, bool):
+            raise CommandError("'fast_path' must be a boolean")
+        return cls(action=action, sandbox_id=sandbox_id, fast_path=fast_path)
+
+
+@dataclass(frozen=True)
+class CommandResponse:
+    """Control-plane reply (HTTP response analog)."""
+
+    ok: bool
+    action: Action
+    sandbox_id: str
+    detail: str = ""
+    result: Optional[Union[PauseResult, ResumeResult]] = None
+    state: Optional[str] = None
+
+
+class ControlPlane:
+    """Routes parsed commands to the pause/resume machinery."""
+
+    def __init__(
+        self,
+        vanilla: VanillaPauseResume,
+        horse: Optional["HorsePauseResume"] = None,
+    ) -> None:
+        self.vanilla = vanilla
+        self.horse = horse
+        self._sandboxes: Dict[str, Sandbox] = {}
+        self.requests_served = 0
+        self.requests_rejected = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, sandbox: Sandbox) -> None:
+        """Register a sandbox under the VMM's management."""
+        if sandbox.sandbox_id in self._sandboxes:
+            raise CommandError(f"sandbox {sandbox.sandbox_id!r} already attached")
+        self._sandboxes[sandbox.sandbox_id] = sandbox
+
+    def detach(self, sandbox_id: str) -> None:
+        if self._sandboxes.pop(sandbox_id, None) is None:
+            raise UnknownSandboxError(f"no sandbox {sandbox_id!r}")
+
+    def managed(self) -> list:
+        return sorted(self._sandboxes)
+
+    # ------------------------------------------------------------------
+    def handle(self, request: Mapping[str, Any], now_ns: int) -> CommandResponse:
+        """Full request cycle: parse, route, execute, respond.
+
+        Parse and routing failures raise (step ① rejects before the
+        virtualization system is entered); execution-stage conflicts
+        (wrong lifecycle state) come back as ``ok=False`` responses.
+        """
+        try:
+            command = Command.parse(request)
+            sandbox = self._sandboxes.get(command.sandbox_id)
+            if sandbox is None:
+                raise UnknownSandboxError(
+                    f"no sandbox {command.sandbox_id!r}"
+                )
+        except CommandError:
+            self.requests_rejected += 1
+            raise
+        self.requests_served += 1
+
+        if command.action is Action.STATUS:
+            return CommandResponse(
+                ok=True,
+                action=command.action,
+                sandbox_id=sandbox.sandbox_id,
+                state=sandbox.state.value,
+            )
+        try:
+            if command.action is Action.PAUSE:
+                path = self.horse if (command.fast_path and self.horse) else self.vanilla
+                result: Union[PauseResult, ResumeResult] = path.pause(
+                    sandbox, now_ns
+                )
+            else:  # RESUME
+                if command.fast_path:
+                    if self.horse is None:
+                        raise CommandError(
+                            "fast_path requested but no HORSE path configured"
+                        )
+                    result = self.horse.resume(sandbox, now_ns)
+                else:
+                    result = self.vanilla.resume(sandbox, now_ns)
+        except SandboxError as exc:
+            return CommandResponse(
+                ok=False,
+                action=command.action,
+                sandbox_id=sandbox.sandbox_id,
+                detail=str(exc),
+                state=sandbox.state.value,
+            )
+        return CommandResponse(
+            ok=True,
+            action=command.action,
+            sandbox_id=sandbox.sandbox_id,
+            result=result,
+            state=sandbox.state.value,
+        )

@@ -1,0 +1,179 @@
+"""Physical host model: sockets, cores, and their run queues.
+
+The paper's testbed is a Cloudlab r650: 2 Intel Xeon Platinum 8360Y
+sockets x 36 cores at 2.4 GHz, 128 GB RAM.  :data:`CLOUDLAB_R650`
+describes it; :class:`Host` instantiates the cores, one run queue per
+core, and carves out the reserved ``ull_runqueue`` cores HORSE uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.hypervisor.dvfs import DvfsGovernor, FrequencyRange, GovernorMode
+from repro.hypervisor.runqueue import RunQueue
+from repro.hypervisor.vcpu import Vcpu
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of a physical server."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    base_khz: int
+    max_khz: int
+    memory_mb: int
+    hyperthreading: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError(f"{self.name}: non-positive core topology")
+        if self.memory_mb <= 0:
+            raise ValueError(f"{self.name}: non-positive memory")
+
+    @property
+    def total_cores(self) -> int:
+        threads = 2 if self.hyperthreading else 1
+        return self.sockets * self.cores_per_socket * threads
+
+
+#: The paper's testbed (hyperthreading disabled for the §2/§3 analysis).
+CLOUDLAB_R650 = HostSpec(
+    name="cloudlab-r650",
+    sockets=2,
+    cores_per_socket=36,
+    base_khz=2_400_000,
+    max_khz=3_500_000,
+    memory_mb=128 * 1024,
+)
+
+#: A small edge node — uLL NFV workloads often run at the edge, where
+#: reserving even one core for the ull_runqueue is a larger fraction of
+#: the machine (useful for sensitivity studies).
+EDGE_NODE = HostSpec(
+    name="edge-node",
+    sockets=1,
+    cores_per_socket=8,
+    base_khz=2_000_000,
+    max_khz=3_000_000,
+    memory_mb=32 * 1024,
+)
+
+
+@dataclass
+class Core:
+    """One physical core: identity, frequency, and current occupant."""
+
+    core_id: int
+    socket: int
+    khz: int
+    running: Optional[Vcpu] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.running is not None
+
+
+class Host:
+    """A running server: cores, their run queues, and memory accounting."""
+
+    def __init__(
+        self,
+        spec: HostSpec,
+        sort_key: Callable[[Vcpu], float],
+        default_timeslice_ns: int,
+        ull_timeslice_ns: int,
+        reserved_ull_cores: int = 1,
+        governor_mode: GovernorMode = GovernorMode.ONDEMAND,
+    ) -> None:
+        if reserved_ull_cores < 0:
+            raise ValueError(f"negative reserved core count {reserved_ull_cores}")
+        if reserved_ull_cores >= spec.total_cores:
+            raise ValueError(
+                f"cannot reserve {reserved_ull_cores} of {spec.total_cores} cores"
+            )
+        self.spec = spec
+        self.governor = DvfsGovernor(
+            mode=governor_mode,
+            frequency=FrequencyRange(spec.base_khz // 3, spec.max_khz),
+        )
+        self.cores: List[Core] = []
+        self.runqueues: Dict[int, RunQueue] = {}
+        self._memory_used_mb = 0
+
+        per_socket = spec.cores_per_socket * (2 if spec.hyperthreading else 1)
+        for core_id in range(spec.total_cores):
+            self.cores.append(
+                Core(core_id=core_id, socket=core_id // per_socket, khz=spec.base_khz)
+            )
+        # The *last* reserved_ull_cores cores host the ull_runqueues,
+        # keeping core 0 (where toolstacks pin housekeeping) general.
+        first_ull = spec.total_cores - reserved_ull_cores
+        for core in self.cores:
+            is_ull = core.core_id >= first_ull
+            self.runqueues[core.core_id] = RunQueue(
+                runqueue_id=core.core_id,
+                sort_key=sort_key,
+                core_id=core.core_id,
+                timeslice_ns=ull_timeslice_ns if is_ull else default_timeslice_ns,
+                reserved_for_ull=is_ull,
+            )
+
+    # ------------------------------------------------------------------
+    # Run-queue views
+    # ------------------------------------------------------------------
+    def general_runqueues(self) -> List[RunQueue]:
+        return [rq for rq in self.runqueues.values() if not rq.reserved_for_ull]
+
+    def ull_runqueues(self) -> List[RunQueue]:
+        return [rq for rq in self.runqueues.values() if rq.reserved_for_ull]
+
+    def least_loaded_general(self) -> RunQueue:
+        """The general queue with the lowest tracked load (vanilla
+        placement rule for a resuming vCPU)."""
+        queues = self.general_runqueues()
+        if not queues:
+            raise RuntimeError("host has no general-purpose run queues")
+        return min(queues, key=lambda rq: (rq.load.value, len(rq), rq.runqueue_id))
+
+    def refresh_frequencies(self) -> None:
+        """Let the governor re-pick each core's frequency from its load."""
+        for core in self.cores:
+            core.khz = self.governor.target_khz(self.runqueues[core.core_id].load.value)
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def memory_used_mb(self) -> int:
+        return self._memory_used_mb
+
+    @property
+    def memory_free_mb(self) -> int:
+        return self.spec.memory_mb - self._memory_used_mb
+
+    def allocate_memory(self, mb: int) -> None:
+        if mb < 0:
+            raise ValueError(f"negative allocation {mb} MB")
+        if mb > self.memory_free_mb:
+            raise MemoryError(
+                f"host out of memory: want {mb} MB, free {self.memory_free_mb} MB"
+            )
+        self._memory_used_mb += mb
+
+    def release_memory(self, mb: int) -> None:
+        if mb < 0 or mb > self._memory_used_mb:
+            raise ValueError(
+                f"bad release of {mb} MB (used {self._memory_used_mb} MB)"
+            )
+        self._memory_used_mb -= mb
+
+    def __repr__(self) -> str:
+        return (
+            f"Host({self.spec.name}, cores={self.spec.total_cores}, "
+            f"ull_queues={len(self.ull_runqueues())}, "
+            f"mem={self._memory_used_mb}/{self.spec.memory_mb} MB)"
+        )

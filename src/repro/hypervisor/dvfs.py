@@ -1,0 +1,76 @@
+"""DVFS governor: maps run-queue load to core frequency.
+
+The paper's step 5 matters because the updated load variable "is used
+for frequency scaling".  This module closes that loop: a governor reads
+each run queue's tracked load and picks the core's frequency.  Two
+governors are provided, mirroring the experiments:
+
+* ``performance`` — all cores pinned to max frequency (used by the
+  paper's §5.2 overhead study);
+* ``ondemand`` — frequency interpolates between min and max with the
+  load/capacity ratio, the classic load-following policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hypervisor.load_tracking import DEFAULT_ENTITY_WEIGHT
+
+
+class GovernorMode(enum.Enum):
+    PERFORMANCE = "performance"
+    ONDEMAND = "ondemand"
+    POWERSAVE = "powersave"
+
+
+@dataclass(frozen=True)
+class FrequencyRange:
+    """A core's available frequency envelope, in kHz."""
+
+    min_khz: int
+    max_khz: int
+
+    def __post_init__(self) -> None:
+        if self.min_khz <= 0 or self.max_khz < self.min_khz:
+            raise ValueError(
+                f"invalid frequency range {self.min_khz}..{self.max_khz} kHz"
+            )
+
+    def clamp(self, khz: float) -> int:
+        return int(min(self.max_khz, max(self.min_khz, khz)))
+
+
+class DvfsGovernor:
+    """Chooses a frequency for a core given its run queue's load."""
+
+    def __init__(
+        self,
+        mode: GovernorMode = GovernorMode.ONDEMAND,
+        frequency: FrequencyRange = FrequencyRange(800_000, 2_400_000),
+        capacity: float = DEFAULT_ENTITY_WEIGHT,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.mode = mode
+        self.frequency = frequency
+        self.capacity = capacity
+        self.decisions = 0
+
+    def target_khz(self, load: float) -> int:
+        """Frequency for a queue currently tracking *load*."""
+        self.decisions += 1
+        if self.mode is GovernorMode.PERFORMANCE:
+            return self.frequency.max_khz
+        if self.mode is GovernorMode.POWERSAVE:
+            return self.frequency.min_khz
+        utilization = min(1.0, max(0.0, load / self.capacity))
+        span = self.frequency.max_khz - self.frequency.min_khz
+        return self.frequency.clamp(self.frequency.min_khz + span * utilization)
+
+    def __repr__(self) -> str:
+        return (
+            f"DvfsGovernor({self.mode.value}, "
+            f"{self.frequency.min_khz}-{self.frequency.max_khz} kHz)"
+        )

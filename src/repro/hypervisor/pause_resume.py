@@ -1,0 +1,186 @@
+"""The vanilla sandbox pause/resume path (paper §3.1).
+
+``VanillaPauseResume.resume`` executes the six steps the paper unrolls:
+
+1. parse the resume command's parameters;
+2. acquire the global resume lock;
+3. sanity-check the target sandbox (must be paused);
+4. for each vCPU, pick a run queue and *sorted-merge* the vCPU into it;
+5. for each inserted vCPU, update the queue's tracked load (the DVFS
+   input) with one affine PELT fold;
+6. release the lock and flip the sandbox to running.
+
+Every step both *does the real work* on the run-queue structures and
+*charges simulated time* from the cost model; the per-step durations
+come back in a :class:`~repro.metrics.recorder.Breakdown`, which is
+exactly the data behind the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hypervisor.costs import CostModel
+from repro.hypervisor.cpu import Host
+from repro.hypervisor.runqueue import RunQueue
+from repro.hypervisor.sandbox import Sandbox, SandboxError, SandboxState
+from repro.hypervisor.scheduler.base import SchedulerPolicy
+from repro.metrics.recorder import Breakdown
+
+# Step names, used as Breakdown phase keys everywhere downstream.
+STEP_PARSE = "1-parse"
+STEP_LOCK = "2-lock"
+STEP_SANITY = "3-sanity"
+STEP_MERGE = "4-sorted-merge"
+STEP_LOAD = "5-load-update"
+STEP_FINALIZE = "6-finalize"
+
+#: The two steps the paper attributes 87.5-93.1 % of the resume to.
+HOT_STEPS = (STEP_MERGE, STEP_LOAD)
+
+
+@dataclass
+class ResumeResult:
+    """Outcome of one resume call."""
+
+    sandbox_id: str
+    breakdown: Breakdown
+    runqueue_ids: List[int] = field(default_factory=list)
+
+    @property
+    def total_ns(self) -> int:
+        return self.breakdown.total_ns
+
+
+@dataclass
+class PauseResult:
+    """Outcome of one pause call."""
+
+    sandbox_id: str
+    duration_ns: int
+    dequeued_vcpus: int
+
+
+class ResumeLockBusyError(SandboxError):
+    """A second resume raced the global resume lock."""
+
+
+class VanillaPauseResume:
+    """Unmodified pause/resume, as shipped by Firecracker/KVM and Xen."""
+
+    def __init__(self, host: Host, policy: SchedulerPolicy, costs: CostModel) -> None:
+        self.host = host
+        self.policy = policy
+        self.costs = costs
+        self._resume_lock_owner: Optional[str] = None
+        self.resumes = 0
+        self.pauses = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def select_runqueue(self, _sandbox: Sandbox) -> RunQueue:
+        """Vanilla placement rule: least-loaded general-purpose queue."""
+        return self.host.least_loaded_general()
+
+    def place_initial(self, sandbox: Sandbox, now_ns: int) -> None:
+        """First placement when a sandbox boots (not timed — boot costs
+        dominate and are charged by the start strategies)."""
+        sandbox.require_state(SandboxState.CREATING)
+        for vcpu in sandbox.vcpus:
+            runqueue = self.select_runqueue(sandbox)
+            self.policy.on_enqueue(vcpu)
+            runqueue.enqueue_sorted(vcpu, now_ns)
+        sandbox.transition(SandboxState.RUNNING)
+
+    # ------------------------------------------------------------------
+    # Pause
+    # ------------------------------------------------------------------
+    def pause(self, sandbox: Sandbox, now_ns: int) -> PauseResult:
+        """Remove every vCPU from its run queue; sandbox goes PAUSED."""
+        sandbox.require_state(SandboxState.RUNNING)
+        duration = self.costs.pause_fixed_ns
+        dequeued = 0
+        for vcpu in sandbox.vcpus:
+            if vcpu.runqueue_id is not None:
+                runqueue = self.host.runqueues[vcpu.runqueue_id]
+                if runqueue.dequeue(vcpu, now_ns):
+                    dequeued += 1
+                    duration += self.costs.pause_dequeue_vcpu_ns
+            vcpu.mark_paused()
+        sandbox.transition(SandboxState.PAUSED)
+        self.pauses += 1
+        return PauseResult(
+            sandbox_id=sandbox.sandbox_id,
+            duration_ns=round(duration),
+            dequeued_vcpus=dequeued,
+        )
+
+    # ------------------------------------------------------------------
+    # Resume (the six steps)
+    # ------------------------------------------------------------------
+    def resume(self, sandbox: Sandbox, now_ns: int) -> ResumeResult:
+        breakdown = Breakdown()
+
+        # Step 1: parse input parameters.
+        breakdown.add(STEP_PARSE, round(self.costs.resume_parse_ns))
+
+        # Step 2: take the global resume lock.
+        if self._resume_lock_owner is not None:
+            raise ResumeLockBusyError(
+                f"resume lock held by {self._resume_lock_owner!r}"
+            )
+        self._resume_lock_owner = sandbox.sandbox_id
+        breakdown.add(STEP_LOCK, round(self.costs.resume_lock_ns))
+
+        try:
+            # Step 3: sanity checks (target must be paused).
+            sandbox.require_state(SandboxState.PAUSED)
+            sandbox.transition(SandboxState.RESUMING)
+            breakdown.add(STEP_SANITY, round(self.costs.resume_sanity_ns))
+
+            # Steps 4 + 5, interleaved per vCPU as the paper describes.
+            runqueue_ids = self._enqueue_all(sandbox, now_ns, breakdown)
+
+            # Step 6: release the lock, sandbox runs.
+            sandbox.transition(SandboxState.RUNNING)
+            sandbox.resume_count += 1
+            breakdown.add(STEP_FINALIZE, round(self.costs.resume_finalize_ns))
+        finally:
+            self._resume_lock_owner = None
+
+        self.resumes += 1
+        return ResumeResult(
+            sandbox_id=sandbox.sandbox_id,
+            breakdown=breakdown,
+            runqueue_ids=runqueue_ids,
+        )
+
+    def _enqueue_all(
+        self, sandbox: Sandbox, now_ns: int, breakdown: Breakdown
+    ) -> List[int]:
+        """Steps 4 and 5 for every vCPU; charges per-vCPU costs."""
+        merge_ns = 0.0
+        load_ns = 0.0
+        runqueue_ids: List[int] = []
+        for position, vcpu in enumerate(sandbox.vcpus):
+            runqueue = self.select_runqueue(sandbox)
+            self.policy.on_enqueue(vcpu)
+            # Step 4: real O(n) sorted insert; count the scan hops.
+            scan_steps = runqueue.enqueue_sorted_without_load(vcpu)
+            if position == 0:
+                merge_ns += self.costs.merge_first_vcpu_ns
+            else:
+                merge_ns += self.costs.merge_warm_vcpu_ns
+            merge_ns += self.costs.merge_scan_step_ns * scan_steps
+            # Step 5: real PELT fold on that queue's load.
+            runqueue.load.enqueue_entity(now_ns, vcpu.weight)
+            if position == 0:
+                load_ns += self.costs.load_update_first_ns
+            else:
+                load_ns += self.costs.load_update_warm_ns
+            runqueue_ids.append(runqueue.runqueue_id)
+        breakdown.add(STEP_MERGE, round(merge_ns))
+        breakdown.add(STEP_LOAD, round(load_ns))
+        return runqueue_ids

@@ -1,0 +1,120 @@
+"""Per-core run queues: sorted lists of runnable vCPUs plus tracked load.
+
+A run queue is the object both of the paper's hot operations touch:
+
+* step 4 — *sorted merge* of each resuming vCPU into the queue's
+  sorted linked list (sort key comes from the scheduler policy);
+* step 5 — *load update* of the queue's PELT aggregate, which the DVFS
+  governor reads.
+
+``RunQueue`` executes both operations for real and exposes the raw
+operation counts (linked-list scan steps, load folds) that the cost
+model converts into simulated nanoseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.linked_list import SortedLinkedList
+from repro.hypervisor.load_tracking import RunqueueLoad
+from repro.hypervisor.vcpu import Vcpu
+
+
+class RunQueue:
+    """A single core's sorted queue of runnable vCPUs."""
+
+    def __init__(
+        self,
+        runqueue_id: int,
+        sort_key: Callable[[Vcpu], float],
+        core_id: int,
+        timeslice_ns: int,
+        reserved_for_ull: bool = False,
+    ) -> None:
+        if timeslice_ns <= 0:
+            raise ValueError(f"timeslice must be positive, got {timeslice_ns}")
+        self.runqueue_id = runqueue_id
+        self.core_id = core_id
+        self.timeslice_ns = timeslice_ns
+        self.reserved_for_ull = reserved_for_ull
+        self.entities: SortedLinkedList[Vcpu] = SortedLinkedList(sort_key)
+        self.load = RunqueueLoad()
+        self.enqueue_count = 0
+        self.dequeue_count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    @property
+    def sort_key(self) -> Callable[[Vcpu], float]:
+        return self.entities.key
+
+    def enqueue_sorted(self, vcpu: Vcpu, now_ns: int) -> int:
+        """Vanilla step 4+5 for one vCPU.
+
+        Performs the real O(n) sorted insert and the real PELT fold.
+        Returns the scan steps the insert consumed so the caller can
+        charge simulated time.
+        """
+        before = self.entities.scan_steps
+        self.entities.insert_sorted(vcpu)
+        vcpu.mark_runnable(self.runqueue_id)
+        self.load.enqueue_entity(now_ns, vcpu.weight)
+        self.enqueue_count += 1
+        return self.entities.scan_steps - before
+
+    def enqueue_sorted_without_load(self, vcpu: Vcpu) -> int:
+        """Sorted insert only — used when load updates are coalesced."""
+        before = self.entities.scan_steps
+        self.entities.insert_sorted(vcpu)
+        vcpu.mark_runnable(self.runqueue_id)
+        self.enqueue_count += 1
+        return self.entities.scan_steps - before
+
+    def dequeue(self, vcpu: Vcpu, now_ns: int) -> bool:
+        """Remove *vcpu* (pause path); folds its load contribution out."""
+        removed = self.entities.remove(vcpu)
+        if removed:
+            vcpu.mark_paused()
+            self.load.dequeue_entity(now_ns, vcpu.weight)
+            self.dequeue_count += 1
+        return removed
+
+    def peek_next(self) -> Optional[Vcpu]:
+        """The vCPU the core would pick next (least sort key)."""
+        return self.entities.first()
+
+    def pop_next(self) -> Optional[Vcpu]:
+        return self.entities.pop_first()
+
+    def members(self) -> List[Vcpu]:
+        return self.entities.to_list()
+
+    # ------------------------------------------------------------------
+    # Invariants (tests + debug)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError when a structural invariant is broken."""
+        assert self.entities.is_sorted(), (
+            f"runqueue {self.runqueue_id}: entities out of order"
+        )
+        assert self.entities.check_size(), (
+            f"runqueue {self.runqueue_id}: size counter drifted"
+        )
+        for vcpu in self.entities:
+            assert vcpu.runqueue_id == self.runqueue_id, (
+                f"runqueue {self.runqueue_id}: {vcpu!r} claims queue "
+                f"{vcpu.runqueue_id}"
+            )
+        assert self.load.value >= 0.0, (
+            f"runqueue {self.runqueue_id}: negative load {self.load.value}"
+        )
+
+    def __repr__(self) -> str:
+        kind = "ull" if self.reserved_for_ull else "general"
+        return (
+            f"RunQueue(#{self.runqueue_id} core={self.core_id} {kind} "
+            f"len={len(self.entities)} load={self.load.value:.1f})"
+        )

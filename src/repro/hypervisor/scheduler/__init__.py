@@ -1,0 +1,7 @@
+"""Scheduler policies for the simulated hypervisor."""
+
+from repro.hypervisor.scheduler.base import SchedulerPolicy
+from repro.hypervisor.scheduler.cfs import CfsPolicy
+from repro.hypervisor.scheduler.credit2 import Credit2Policy
+
+__all__ = ["SchedulerPolicy", "CfsPolicy", "Credit2Policy"]

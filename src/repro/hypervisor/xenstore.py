@@ -1,0 +1,166 @@
+"""In-memory XenStore (the LightVM optimization the paper applies).
+
+On Xen, control-plane state lives in XenStore, a hierarchical
+key-value store whose daemon round-trips dominate toolstack latency.
+The paper notes: "we change the XenStore to an in-memory shared space
+to reduce userspace costs as proposed by LightVM [44]".  This module
+implements that in-memory store with the semantics toolstack code
+relies on:
+
+* hierarchical paths (``/vm/<id>/state``) with implicit directories;
+* read / write / delete (subtree) / list;
+* **watches**: callbacks fired on any write at or below a path —
+  the mechanism Xen toolstacks use to coordinate domain lifecycle.
+
+The Xen platform's sandbox lifecycle can mirror its state here, giving
+tests a faithful place to assert toolstack-visible behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+WatchCallback = Callable[[str, Optional[str]], None]
+
+
+def _validate_path(path: str) -> Tuple[str, ...]:
+    if not path.startswith("/"):
+        raise ValueError(f"XenStore path must be absolute, got {path!r}")
+    parts = tuple(p for p in path.split("/") if p)
+    for part in parts:
+        if any(c in part for c in (" ", "\t", "\n")):
+            raise ValueError(f"invalid path component {part!r}")
+    return parts
+
+
+@dataclass
+class _Node:
+    value: Optional[str] = None
+    children: Dict[str, "_Node"] = field(default_factory=dict)
+
+
+class InMemoryXenStore:
+    """Hierarchical KV store with subtree watches."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._watches: List[Tuple[Tuple[str, ...], WatchCallback]] = []
+        self.writes = 0
+        self.reads = 0
+
+    # ------------------------------------------------------------------
+    def _walk(self, parts: Tuple[str, ...], create: bool = False) -> Optional[_Node]:
+        node = self._root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                if not create:
+                    return None
+                child = _Node()
+                node.children[part] = child
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+    def write(self, path: str, value: str) -> None:
+        """Set *path* to *value*, creating intermediate directories."""
+        parts = _validate_path(path)
+        if not parts:
+            raise ValueError("cannot write the root node")
+        node = self._walk(parts, create=True)
+        assert node is not None
+        node.value = value
+        self.writes += 1
+        self._fire_watches(parts, value)
+
+    def read(self, path: str) -> str:
+        parts = _validate_path(path)
+        node = self._walk(parts)
+        self.reads += 1
+        if node is None or node.value is None:
+            raise KeyError(f"no value at {path!r}")
+        return node.value
+
+    def exists(self, path: str) -> bool:
+        node = self._walk(_validate_path(path))
+        return node is not None
+
+    def list(self, path: str) -> List[str]:
+        """Immediate children of *path* (a 'directory' listing)."""
+        node = self._walk(_validate_path(path))
+        if node is None:
+            raise KeyError(f"no node at {path!r}")
+        return sorted(node.children)
+
+    def delete(self, path: str) -> bool:
+        """Remove *path* and its subtree; fires watches with None."""
+        parts = _validate_path(path)
+        if not parts:
+            raise ValueError("cannot delete the root node")
+        parent = self._walk(parts[:-1])
+        if parent is None or parts[-1] not in parent.children:
+            return False
+        del parent.children[parts[-1]]
+        self._fire_watches(parts, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Watches
+    # ------------------------------------------------------------------
+    def watch(self, path: str, callback: WatchCallback) -> Callable[[], None]:
+        """Fire *callback(path, value)* on writes/deletes at or below
+        *path*.  Returns an unwatch function."""
+        parts = _validate_path(path)
+        entry = (parts, callback)
+        self._watches.append(entry)
+
+        def unwatch() -> None:
+            try:
+                self._watches.remove(entry)
+            except ValueError:
+                pass
+
+        return unwatch
+
+    def _fire_watches(self, parts: Tuple[str, ...], value: Optional[str]) -> None:
+        path = "/" + "/".join(parts)
+        for prefix, callback in list(self._watches):
+            if parts[: len(prefix)] == prefix:
+                callback(path, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"InMemoryXenStore(writes={self.writes}, reads={self.reads}, "
+            f"watches={len(self._watches)})"
+        )
+
+
+class XenstoreLifecycleMirror:
+    """Mirrors sandbox lifecycle into ``/vm/<id>/state`` (what a Xen
+    toolstack would maintain)."""
+
+    def __init__(self, store: InMemoryXenStore) -> None:
+        self.store = store
+
+    def record_state(self, sandbox_id: str, state: str) -> None:
+        self.store.write(f"/vm/{sandbox_id}/state", state)
+
+    def state_of(self, sandbox_id: str) -> str:
+        return self.store.read(f"/vm/{sandbox_id}/state")
+
+    def remove(self, sandbox_id: str) -> None:
+        self.store.delete(f"/vm/{sandbox_id}")
+
+    def known_vms(self) -> List[str]:
+        if not self.store.exists("/vm"):
+            return []
+        return self.store.list("/vm")
+
+    def attach(self, sandbox) -> None:
+        """Observe *sandbox*'s lifecycle: every legal transition is
+        mirrored into ``/vm/<id>/state`` (the toolstack pattern)."""
+        self.record_state(sandbox.sandbox_id, sandbox.state.value)
+        sandbox.observers.append(
+            lambda sb, state: self.record_state(sb.sandbox_id, state.value)
+        )

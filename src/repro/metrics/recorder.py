@@ -1,0 +1,124 @@
+"""Measurement recorders.
+
+Two recorders cover the evaluation's needs:
+
+* :class:`SeriesRecorder` — named scalar series (e.g. per-invocation
+  latency), summarized with :class:`repro.metrics.stats.Summary`.
+* :class:`BreakdownRecorder` — per-phase durations for a multi-step
+  operation (the resume path's steps 1-6), keeping both the absolute
+  nanoseconds and the share of the total, which is exactly what the
+  paper's Figure 2 plots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+from repro.metrics.stats import Summary
+
+
+class SeriesRecorder:
+    """Accumulates named scalar series and summarizes them."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = defaultdict(list)
+
+    def record(self, name: str, value: float) -> None:
+        self._series[name].append(float(value))
+
+    def extend(self, name: str, values: Iterable[float]) -> None:
+        self._series[name].extend(float(v) for v in values)
+
+    def values(self, name: str) -> List[float]:
+        """The raw values for a series (empty list if never recorded)."""
+        return list(self._series.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def summary(self, name: str) -> Summary:
+        values = self._series.get(name)
+        if not values:
+            raise KeyError(f"no values recorded for series {name!r}")
+        return Summary.of(values)
+
+    def summaries(self) -> Dict[str, Summary]:
+        return {name: Summary.of(vals) for name, vals in self._series.items() if vals}
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._series.values())
+
+
+@dataclass
+class Breakdown:
+    """One multi-step operation's per-phase durations (ns)."""
+
+    phases: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, phase: str, duration_ns: int) -> None:
+        if duration_ns < 0:
+            raise ValueError(f"negative duration for phase {phase!r}: {duration_ns}")
+        self.phases[phase] = self.phases.get(phase, 0) + duration_ns
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.phases.values())
+
+    def share(self, phase: str) -> float:
+        """Fraction of the total spent in *phase* (0.0 if total is 0)."""
+        total = self.total_ns
+        if total == 0:
+            return 0.0
+        return self.phases.get(phase, 0) / total
+
+    def combined_share(self, phases: Iterable[str]) -> float:
+        """Fraction of the total spent in the union of *phases*."""
+        total = self.total_ns
+        if total == 0:
+            return 0.0
+        return sum(self.phases.get(p, 0) for p in phases) / total
+
+    def as_dict(self) -> Mapping[str, int]:
+        return dict(self.phases)
+
+
+class BreakdownRecorder:
+    """Accumulates many Breakdowns and averages them per phase."""
+
+    def __init__(self) -> None:
+        self._breakdowns: List[Breakdown] = []
+
+    def record(self, breakdown: Breakdown) -> None:
+        self._breakdowns.append(breakdown)
+
+    def __len__(self) -> int:
+        return len(self._breakdowns)
+
+    def mean_phase_ns(self) -> Dict[str, float]:
+        """Mean duration per phase across all recorded breakdowns."""
+        if not self._breakdowns:
+            return {}
+        sums: Dict[str, int] = defaultdict(int)
+        for breakdown in self._breakdowns:
+            for phase, duration in breakdown.phases.items():
+                sums[phase] += duration
+        count = len(self._breakdowns)
+        return {phase: total / count for phase, total in sums.items()}
+
+    def mean_total_ns(self) -> float:
+        if not self._breakdowns:
+            return 0.0
+        return sum(b.total_ns for b in self._breakdowns) / len(self._breakdowns)
+
+    def mean_shares(self) -> Dict[str, float]:
+        """Per-phase share of the mean total (sums to 1.0)."""
+        means = self.mean_phase_ns()
+        total = sum(means.values())
+        if total == 0:
+            return {phase: 0.0 for phase in means}
+        return {phase: value / total for phase, value in means.items()}

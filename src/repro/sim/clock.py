@@ -1,0 +1,42 @@
+"""Monotonic simulated clock.
+
+The clock is owned by the event engine; everything else reads it.  It is
+deliberately tiny: a single integer, advanced only by the engine, never
+by user code.  Keeping advancement in one place is what makes the whole
+simulation deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import SchedulingInPastError
+
+
+class SimClock:
+    """Integer-nanosecond monotonic clock for a simulation run."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance_to(self, when: int) -> None:
+        """Move the clock forward to *when*.
+
+        Only the event engine calls this.  Moving backwards is a bug in
+        the engine's heap discipline and raises immediately.
+        """
+        if when < self._now:
+            raise SchedulingInPastError(
+                f"clock cannot move backwards: now={self._now}, target={when}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now})"

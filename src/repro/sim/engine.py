@@ -1,0 +1,145 @@
+"""The discrete-event simulation engine.
+
+A classic event-heap kernel: callers schedule callbacks at future
+simulated instants; :meth:`Engine.run` pops events in time order,
+advances the clock, and invokes them.  All higher layers (hypervisor,
+FaaS platform, experiments) are built on this single primitive plus the
+generator-based processes in :mod:`repro.sim.process`.
+
+Determinism contract: given the same schedule calls in the same order
+and the same seeded RNG streams, a run is bit-for-bit reproducible.
+Nothing in the engine consults wall-clock time or unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.errors import EngineStoppedError, SchedulingInPastError
+from repro.sim.event import Event, EventPriority
+
+
+class Engine:
+    """Event-heap discrete-event simulation engine."""
+
+    def __init__(self, start_time: int = 0) -> None:
+        self.clock = SimClock(start_time)
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time (ns)."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events the engine has fired so far."""
+        return self._events_executed
+
+    def schedule_at(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* at absolute simulated time *when*."""
+        if self._stopped:
+            raise EngineStoppedError("cannot schedule on a stopped engine")
+        if when < self.clock.now:
+            raise SchedulingInPastError(
+                f"cannot schedule at {when}, now is {self.clock.now}"
+            )
+        event = Event(
+            time=when,
+            priority=int(priority),
+            sequence=self._sequence,
+            callback=callback,
+            label=label,
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* after *delay* nanoseconds from now."""
+        if delay < 0:
+            raise SchedulingInPastError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, priority, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, *until* is reached, or
+        *max_events* have fired.  Returns the number of events executed
+        by this call.
+
+        When *until* is given, the clock is left exactly at *until* even
+        if the heap drains earlier, so back-to-back ``run(until=...)``
+        calls tile time contiguously.
+        """
+        if self._stopped:
+            raise EngineStoppedError("engine has been stopped")
+        executed = 0
+        self._running = True
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                event = heapq.heappop(self._heap)
+                self.clock.advance_to(event.time)
+                event.callback()
+                executed += 1
+                self._events_executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return executed
+
+    def step(self) -> bool:
+        """Fire exactly one pending event.  Returns False if none left."""
+        return self.run(max_events=1) == 1
+
+    def peek_next_time(self) -> Optional[int]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pending_events(self) -> Iterable[Event]:
+        """Snapshot of non-cancelled pending events (unsorted)."""
+        return [event for event in self._heap if not event.cancelled]
+
+    def stop(self) -> None:
+        """Permanently stop the engine; further scheduling raises."""
+        self._stopped = True
+        self._heap.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self.clock.now}, pending={len(self._heap)}, "
+            f"executed={self._events_executed})"
+        )

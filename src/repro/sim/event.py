@@ -1,0 +1,57 @@
+"""Events: the unit of work of the simulation engine.
+
+An :class:`Event` is a callback bound to a simulated time.  Events are
+totally ordered by ``(time, priority, sequence)``:
+
+* ``time`` — when the event fires;
+* ``priority`` — ties at the same instant fire lowest-priority-number
+  first, which lets e.g. a scheduler-tick event run before user work
+  scheduled at the same nanosecond;
+* ``sequence`` — a monotonically increasing counter that makes ordering
+  of otherwise-equal events deterministic (FIFO) and keeps comparisons
+  from ever reaching the (uncomparable) callback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break classes for events firing at the same instant.
+
+    Lower values fire first.  The gaps leave room for experiment code to
+    define intermediate classes without renumbering.
+    """
+
+    INTERRUPT = 0
+    SCHEDULER = 10
+    NORMAL = 20
+    BACKGROUND = 30
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordered by (time, priority, sequence)."""
+
+    time: int
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped.
+
+        Cancellation is lazy — the event stays in the heap but becomes a
+        no-op.  This is O(1) and avoids heap surgery.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "<callback>")
+        return f"Event(t={self.time}, prio={self.priority}, {name}, {state})"

@@ -1,0 +1,182 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a Python generator that *yields* commands to
+the engine: sleep for a delay, wait on a :class:`Waitable`, or spawn a
+child process and wait for it.  This gives experiment code a readable,
+sequential style::
+
+    def client(env):
+        yield Sleep(microseconds(5))
+        response = yield Wait(server_done)
+        ...
+
+The engine resumes the generator when the yielded condition is met.
+Processes are cooperative and single-threaded; all concurrency is
+simulated, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.errors import ProcessError
+from repro.sim.event import EventPriority
+
+ProcessGenerator = Generator["Command", Any, Any]
+
+
+class Command:
+    """Base class for values a process may yield to the engine."""
+
+
+@dataclass
+class Sleep(Command):
+    """Suspend the process for *delay* nanoseconds."""
+
+    delay: int
+
+
+@dataclass
+class Wait(Command):
+    """Suspend the process until *waitable* fires.
+
+    The value passed to the waitable's :meth:`Waitable.fire` becomes the
+    result of the ``yield`` expression.
+    """
+
+    waitable: "Waitable"
+
+
+@dataclass
+class Spawn(Command):
+    """Start a child process; the yield returns the child Process."""
+
+    generator: ProcessGenerator
+    label: str = ""
+
+
+@dataclass
+class Join(Command):
+    """Suspend until *process* completes; yield returns its result."""
+
+    process: "Process"
+
+
+class Waitable:
+    """A one-shot or repeating signal processes can wait on.
+
+    ``fire(value)`` wakes every currently-waiting process with *value*.
+    A waitable may fire multiple times; each fire releases the waiters
+    registered since the previous fire.
+    """
+
+    def __init__(self, engine: Engine, label: str = "") -> None:
+        self._engine = engine
+        self._label = label
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def add_waiter(self, wake: Callable[[Any], None]) -> None:
+        self._waiters.append(wake)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current waiters with *value* at the current instant."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            # Wake via the event heap so ordering with other same-instant
+            # events stays deterministic.
+            self._engine.schedule_after(
+                0,
+                lambda wake=wake: wake(value),
+                priority=EventPriority.NORMAL,
+                label=f"wake:{self._label}",
+            )
+
+    def __repr__(self) -> str:
+        return f"Waitable({self._label!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A running simulated process driving a generator to completion."""
+
+    def __init__(self, engine: Engine, generator: ProcessGenerator, label: str = "") -> None:
+        self._engine = engine
+        self._generator = generator
+        self.label = label or getattr(generator, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._completion = Waitable(engine, label=f"{self.label}:done")
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Process":
+        """Begin executing the generator at the current instant."""
+        if self._started:
+            raise ProcessError(f"process {self.label!r} already started")
+        self._started = True
+        self._engine.schedule_after(0, lambda: self._advance(None), label=f"start:{self.label}")
+        return self
+
+    def completion(self) -> Waitable:
+        """Waitable fired (with the process result) when it finishes."""
+        return self._completion
+
+    # ------------------------------------------------------------------
+    def _advance(self, send_value: Any) -> None:
+        """Resume the generator, interpret the next yielded command."""
+        try:
+            command = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # surface user bugs, don't swallow
+            self.error = exc
+            self.done = True
+            self._completion.fire(None)
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Command) -> None:
+        if isinstance(command, Sleep):
+            if command.delay < 0:
+                raise ProcessError(f"{self.label}: negative sleep {command.delay}")
+            self._engine.schedule_after(
+                command.delay, lambda: self._advance(None), label=f"sleep:{self.label}"
+            )
+        elif isinstance(command, Wait):
+            command.waitable.add_waiter(self._advance)
+        elif isinstance(command, Spawn):
+            child = Process(self._engine, command.generator, label=command.label)
+            child.start()
+            self._engine.schedule_after(0, lambda: self._advance(child))
+        elif isinstance(command, Join):
+            if command.process.done:
+                self._engine.schedule_after(
+                    0, lambda: self._advance(command.process.result)
+                )
+            else:
+                command.process.completion().add_waiter(self._advance)
+        else:
+            raise ProcessError(
+                f"{self.label}: yielded {command!r}, expected a sim Command"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self._completion.fire(result)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("running" if self._started else "new")
+        return f"Process({self.label!r}, {state})"
+
+
+def spawn(engine: Engine, generator: ProcessGenerator, label: str = "") -> Process:
+    """Convenience: create and immediately start a process."""
+    return Process(engine, generator, label=label).start()

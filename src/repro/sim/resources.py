@@ -1,0 +1,129 @@
+"""Simulated synchronization resources.
+
+The hypervisor model needs a lock around the resume path (the paper's
+step 2 acquires a lock "to prevent a parallel resume of another paused
+sandbox").  These primitives operate in *simulated* time: acquiring a
+contended lock suspends the acquiring process until release.
+
+For the common non-process code paths (direct event callbacks) the lock
+also exposes a synchronous try/acquire API with explicit owners, which
+the pause/resume paths use together with charged lock-operation costs
+from the cost model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.errors import ResourceError
+from repro.sim.process import Waitable
+
+
+class SimLock:
+    """A FIFO mutual-exclusion lock in simulated time."""
+
+    def __init__(self, engine: Engine, label: str = "lock") -> None:
+        self._engine = engine
+        self.label = label
+        self._owner: Optional[Any] = None
+        self._waiters: Deque[Waitable] = deque()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    @property
+    def owner(self) -> Optional[Any]:
+        return self._owner
+
+    def try_acquire(self, owner: Any) -> bool:
+        """Immediately take the lock if free; never blocks."""
+        if owner is None:
+            raise ResourceError(f"{self.label}: owner must not be None")
+        if self._owner is None:
+            self._owner = owner
+            self.acquisitions += 1
+            return True
+        return False
+
+    def acquire_wait(self, owner: Any) -> Waitable:
+        """Return a waitable fired once *owner* holds the lock.
+
+        If the lock is free, the waitable fires at the current instant.
+        Otherwise the owner joins a FIFO queue.
+        """
+        gate = Waitable(self._engine, label=f"{self.label}:acquire")
+        if self.try_acquire(owner):
+            gate.fire(owner)
+        else:
+            self.contentions += 1
+            gate.last_value = owner  # stash pending owner for release()
+            self._waiters.append(gate)
+        return gate
+
+    def release(self, owner: Any) -> None:
+        """Release the lock; hands off to the next FIFO waiter if any."""
+        if self._owner is None:
+            raise ResourceError(f"{self.label}: release of an unheld lock")
+        if self._owner is not owner and self._owner != owner:
+            raise ResourceError(
+                f"{self.label}: release by non-owner {owner!r} "
+                f"(held by {self._owner!r})"
+            )
+        if self._waiters:
+            gate = self._waiters.popleft()
+            self._owner = gate.last_value
+            self.acquisitions += 1
+            gate.fire(self._owner)
+        else:
+            self._owner = None
+
+    def __repr__(self) -> str:
+        state = f"held by {self._owner!r}" if self._owner is not None else "free"
+        return f"SimLock({self.label!r}, {state}, waiters={len(self._waiters)})"
+
+
+class SimSemaphore:
+    """Counting semaphore in simulated time (FIFO wakeups)."""
+
+    def __init__(self, engine: Engine, permits: int, label: str = "sem") -> None:
+        if permits < 0:
+            raise ResourceError(f"{label}: negative permit count {permits}")
+        self._engine = engine
+        self.label = label
+        self._permits = permits
+        self._waiters: Deque[Waitable] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._permits
+
+    def try_acquire(self) -> bool:
+        if self._permits > 0:
+            self._permits -= 1
+            return True
+        return False
+
+    def acquire_wait(self) -> Waitable:
+        gate = Waitable(self._engine, label=f"{self.label}:acquire")
+        if self.try_acquire():
+            gate.fire(None)
+        else:
+            self._waiters.append(gate)
+        return gate
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().fire(None)
+        else:
+            self._permits += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SimSemaphore({self.label!r}, permits={self._permits}, "
+            f"waiters={len(self._waiters)})"
+        )

@@ -1,0 +1,118 @@
+"""Structured simulation tracing.
+
+A :class:`TraceLog` records typed events — ``(time_ns, subsystem,
+operation, details)`` — from any instrumented component.  It is
+entirely opt-in (paths take an optional log; ``NULL_TRACE`` swallows
+everything at near-zero cost) and exists for the two things print-
+debugging is bad at in a discrete-event system: reconstructing causal
+order across subsystems, and asserting *sequences* in tests::
+
+    log = TraceLog()
+    log.record(engine.now, "pool", "acquire", function="fw")
+    ...
+    assert log.operations("pool") == ["acquire", "release"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded operation."""
+
+    time_ns: int
+    subsystem: str
+    operation: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time_ns:>12d}] {self.subsystem}.{self.operation} {detail}".rstrip()
+
+
+class TraceLog:
+    """Append-only event log with filtering helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(
+        self, time_ns: int, subsystem: str, operation: str, **details: Any
+    ) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(
+            TraceEvent(
+                time_ns=time_ns,
+                subsystem=subsystem,
+                operation=operation,
+                details=details,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        subsystem: Optional[str] = None,
+        operation: Optional[str] = None,
+        since_ns: int = 0,
+    ) -> List[TraceEvent]:
+        return [
+            event
+            for event in self._events
+            if (subsystem is None or event.subsystem == subsystem)
+            and (operation is None or event.operation == operation)
+            and event.time_ns >= since_ns
+        ]
+
+    def operations(self, subsystem: Optional[str] = None) -> List[str]:
+        """Operation names in record order (for sequence assertions)."""
+        return [e.operation for e in self.events(subsystem=subsystem)]
+
+    def last(self) -> Optional[TraceEvent]:
+        return self._events[-1] if self._events else None
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable tail of the log."""
+        tail = self._events[-limit:]
+        lines = [str(event) for event in tail]
+        if len(self._events) > limit:
+            lines.insert(0, f"... ({len(self._events) - limit} earlier events)")
+        return "\n".join(lines)
+
+
+class _NullTraceLog(TraceLog):
+    """Sink that drops everything; the default for untraced runs."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, time_ns, subsystem, operation, **details) -> None:
+        return None
+
+
+#: Shared do-nothing log; pass a real TraceLog to opt in.
+NULL_TRACE = _NullTraceLog()

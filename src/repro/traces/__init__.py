@@ -1,0 +1,38 @@
+"""Invocation arrival modeling: processes, Azure-like synthesis, loader."""
+
+from repro.traces.arrival import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceDrivenArrivals,
+)
+from repro.traces.azure import AzureTraceConfig, SyntheticTrace, synthesize_trace
+from repro.traces.loader import TraceFormatError, load_azure_invocations_csv
+from repro.traces.stats import (
+    TraceProfile,
+    burstiness_index,
+    gini_coefficient,
+    interarrival_cv,
+    interarrival_gaps,
+    profile_trace,
+    top_k_share,
+)
+
+__all__ = [
+    "TraceProfile",
+    "burstiness_index",
+    "gini_coefficient",
+    "interarrival_cv",
+    "interarrival_gaps",
+    "profile_trace",
+    "top_k_share",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "TraceDrivenArrivals",
+    "AzureTraceConfig",
+    "SyntheticTrace",
+    "synthesize_trace",
+    "TraceFormatError",
+    "load_azure_invocations_csv",
+]

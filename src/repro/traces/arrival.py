@@ -1,0 +1,85 @@
+"""Arrival processes: when invocations hit the platform.
+
+Experiments drive the FaaS gateway from an arrival process.  Three are
+provided: deterministic (fixed period, e.g. "10 uLL triggers per
+second"), Poisson (memoryless background traffic), and trace-driven
+(replay of explicit timestamps, e.g. a chunk of the Azure trace).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterator, List, Sequence
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces a monotone stream of arrival timestamps (ns)."""
+
+    @abc.abstractmethod
+    def arrivals(self, start_ns: int, end_ns: int) -> Iterator[int]:
+        """Yield arrival instants in [start_ns, end_ns), ascending."""
+
+    def arrival_list(self, start_ns: int, end_ns: int) -> List[int]:
+        return list(self.arrivals(start_ns, end_ns))
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed inter-arrival period, optionally with a phase offset."""
+
+    def __init__(self, period_ns: int, offset_ns: int = 0) -> None:
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        if offset_ns < 0:
+            raise ValueError(f"offset must be >= 0, got {offset_ns}")
+        self.period_ns = period_ns
+        self.offset_ns = offset_ns
+
+    def arrivals(self, start_ns: int, end_ns: int) -> Iterator[int]:
+        if end_ns <= start_ns:
+            return
+        first = start_ns + self.offset_ns
+        when = first
+        while when < end_ns:
+            yield when
+            when += self.period_ns
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at *rate_per_second*."""
+
+    def __init__(self, rate_per_second: float, rng: random.Random) -> None:
+        if rate_per_second <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_second}")
+        self.rate_per_second = rate_per_second
+        self._rng = rng
+
+    def arrivals(self, start_ns: int, end_ns: int) -> Iterator[int]:
+        mean_gap_ns = 1e9 / self.rate_per_second
+        when = float(start_ns)
+        while True:
+            when += self._rng.expovariate(1.0) * mean_gap_ns
+            if when >= end_ns:
+                return
+            yield round(when)
+
+
+class TraceDrivenArrivals(ArrivalProcess):
+    """Replay explicit timestamps (e.g. from the Azure trace loader)."""
+
+    def __init__(self, timestamps_ns: Sequence[int]) -> None:
+        ordered = sorted(int(t) for t in timestamps_ns)
+        if any(t < 0 for t in ordered):
+            raise ValueError("trace contains negative timestamps")
+        self._timestamps = ordered
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def arrivals(self, start_ns: int, end_ns: int) -> Iterator[int]:
+        for when in self._timestamps:
+            if when < start_ns:
+                continue
+            if when >= end_ns:
+                return
+            yield when

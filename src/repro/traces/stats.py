@@ -1,0 +1,117 @@
+"""Trace characterization statistics.
+
+The Azure-like synthesizer's fidelity rests on two published properties
+of the real dataset ("Serverless in the Wild", ATC'20): heavy-tailed
+per-function rates and bursty arrivals.  This module computes the
+measures that make those properties checkable:
+
+* inter-arrival **coefficient of variation** (CV > 1 = burstier than
+  Poisson);
+* the **burstiness index** (CV-1)/(CV+1) in [-1, 1] (0 = Poisson);
+* **top-k share** of invocations (tail heaviness across functions);
+* a **Gini coefficient** over per-function invocation counts.
+
+Used by the trace test suite and available to users validating their
+own loaded traces against the synthesizer's assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.metrics.stats import mean, stddev
+
+
+def interarrival_gaps(timestamps_ns: Sequence[int]) -> List[int]:
+    """Consecutive gaps of a sorted timestamp series."""
+    ordered = sorted(timestamps_ns)
+    return [b - a for a, b in zip(ordered, ordered[1:])]
+
+
+def interarrival_cv(timestamps_ns: Sequence[int]) -> float:
+    """Coefficient of variation of inter-arrival gaps.
+
+    1.0 for a Poisson process; > 1 indicates burstiness.  Requires at
+    least 3 arrivals (2 gaps).
+    """
+    gaps = interarrival_gaps(timestamps_ns)
+    if len(gaps) < 2:
+        raise ValueError(f"need >= 3 arrivals, got {len(timestamps_ns)}")
+    gap_values = [float(g) for g in gaps]
+    mu = mean(gap_values)
+    if mu == 0:
+        return 0.0
+    return stddev(gap_values) / mu
+
+
+def burstiness_index(timestamps_ns: Sequence[int]) -> float:
+    """Goh-Barabasi burstiness B = (cv - 1) / (cv + 1), in [-1, 1].
+
+    0 for Poisson, -> 1 for extreme bursts, < 0 for regular (pacemaker)
+    arrivals.
+    """
+    cv = interarrival_cv(timestamps_ns)
+    return (cv - 1.0) / (cv + 1.0)
+
+
+def top_k_share(counts_by_function: Dict[str, int], k: int) -> float:
+    """Share of all invocations carried by the k busiest functions."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts = sorted(counts_by_function.values(), reverse=True)
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    return sum(counts[:k]) / total
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini inequality of *values* in [0, 1] (0 = equal shares).
+
+    Computed with the standard mean-absolute-difference formula.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("gini of empty sequence")
+    if any(v < 0 for v in data):
+        raise ValueError("gini requires non-negative values")
+    total = sum(data)
+    if total == 0:
+        return 0.0
+    n = len(data)
+    weighted = sum((index + 1) * value for index, value in enumerate(data))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary of one multi-function trace's structure."""
+
+    functions: int
+    total_invocations: int
+    merged_cv: float
+    merged_burstiness: float
+    top_10pct_share: float
+    rate_gini: float
+
+
+def profile_trace(invocations_by_function: Dict[str, List[int]]) -> TraceProfile:
+    """Characterize a trace in the dataset's terms."""
+    if not invocations_by_function:
+        raise ValueError("empty trace")
+    merged: List[int] = []
+    for timestamps in invocations_by_function.values():
+        merged.extend(timestamps)
+    if len(merged) < 3:
+        raise ValueError("trace too sparse to profile (need >= 3 arrivals)")
+    counts = {name: len(ts) for name, ts in invocations_by_function.items()}
+    k = max(1, round(0.1 * len(counts)))
+    return TraceProfile(
+        functions=len(counts),
+        total_invocations=len(merged),
+        merged_cv=interarrival_cv(merged),
+        merged_burstiness=burstiness_index(merged),
+        top_10pct_share=top_k_share(counts, k),
+        rate_gini=gini_coefficient(list(counts.values())),
+    )

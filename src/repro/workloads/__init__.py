@@ -1,0 +1,69 @@
+"""Function bodies used by the evaluation: the three uLL categories,
+the long-running thumbnail generator, and the sysbench CPU hog."""
+
+from repro.workloads.array_filter import ARRAY_SIZE, ArrayFilterWorkload, FilterRequest
+from repro.workloads.base import Workload, WorkloadCategory, truncated_normal_ns
+from repro.workloads.firewall import FirewallDecision, FirewallWorkload, RequestHeader
+from repro.workloads.ml_inference import (
+    InferenceRequest,
+    InferenceResult,
+    MlInferenceWorkload,
+)
+from repro.workloads.nat import NatError, NatRule, NatWorkload
+from repro.workloads.orderbook import (
+    MarketState,
+    Order,
+    OrderRiskWorkload,
+    RiskDecision,
+    RiskVerdict,
+    Side,
+)
+from repro.workloads.sysbench import (
+    PrimeRequest,
+    SysbenchCpuWorkload,
+    primes_up_to,
+)
+from repro.workloads.thumbnail import (
+    Image,
+    ObjectStore,
+    ThumbnailRequest,
+    ThumbnailWorkload,
+)
+
+
+def ull_workloads() -> list[Workload]:
+    """The paper's three uLL categories, in order (§2)."""
+    return [FirewallWorkload(), NatWorkload(), ArrayFilterWorkload()]
+
+
+__all__ = [
+    "ARRAY_SIZE",
+    "ArrayFilterWorkload",
+    "FilterRequest",
+    "Workload",
+    "WorkloadCategory",
+    "truncated_normal_ns",
+    "FirewallDecision",
+    "FirewallWorkload",
+    "RequestHeader",
+    "InferenceRequest",
+    "InferenceResult",
+    "MlInferenceWorkload",
+    "NatError",
+    "NatRule",
+    "NatWorkload",
+    "MarketState",
+    "Order",
+    "OrderRiskWorkload",
+    "RiskDecision",
+    "RiskVerdict",
+    "Side",
+    "PrimeRequest",
+    "SysbenchCpuWorkload",
+    "primes_up_to",
+    "Image",
+    "ObjectStore",
+    "ThumbnailRequest",
+    "ThumbnailWorkload",
+    "ull_workloads",
+]

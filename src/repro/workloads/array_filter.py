@@ -1,0 +1,57 @@
+"""Category-3 uLL workload: array index filter (paper §2).
+
+"Given an array composed of 3000 integers, they retrieve the indexes
+of all the elements in the array that are larger than an integer
+parameter passed during the workload trigger.  Such operations are
+used during image transformation operations."  Envelope: hundreds of
+ns, mean 0.7 us (Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.workloads.base import Workload, WorkloadCategory, truncated_normal_ns
+from repro.sim.units import nanoseconds
+
+ARRAY_SIZE = 3000
+
+
+@dataclass(frozen=True)
+class FilterRequest:
+    """The trigger payload: the array and the threshold parameter."""
+
+    values: Sequence[int]
+    threshold: int
+
+
+class ArrayFilterWorkload(Workload):
+    """Return the indexes of all elements strictly above the threshold."""
+
+    name = "array-filter"
+    category = WorkloadCategory.CATEGORY_3
+
+    def __init__(self, mean_duration_ns: int = nanoseconds(700)) -> None:
+        self.mean_duration_ns = mean_duration_ns
+
+    def execute(self, payload: FilterRequest) -> List[int]:
+        if not isinstance(payload, FilterRequest):
+            raise TypeError(f"filter expects FilterRequest, got {type(payload)}")
+        return [
+            index
+            for index, value in enumerate(payload.values)
+            if value > payload.threshold
+        ]
+
+    def sample_duration_ns(self, rng: random.Random) -> int:
+        return truncated_normal_ns(
+            rng, self.mean_duration_ns, rel_std=0.15, floor_ns=nanoseconds(300)
+        )
+
+    def example_payload(self, rng: random.Random) -> FilterRequest:
+        return FilterRequest(
+            values=[rng.randint(0, 4096) for _ in range(ARRAY_SIZE)],
+            threshold=rng.randint(0, 4096),
+        )

@@ -1,0 +1,95 @@
+"""Category-1 uLL workload: a stateless firewall (paper §2).
+
+"We implement a stateless firewall that takes a request header as
+input and determines whether the request should go through by querying
+a static allow list."  Execution time envelope: <= 20 us, mean 17 us.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.workloads.base import Workload, WorkloadCategory, truncated_normal_ns
+from repro.sim.units import microseconds
+
+
+@dataclass(frozen=True)
+class RequestHeader:
+    """Minimal L3/L4 request header, the firewall's input."""
+
+    src_ip: str
+    dst_ip: str
+    dst_port: int
+    protocol: str = "tcp"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"invalid port {self.dst_port}")
+
+
+@dataclass(frozen=True)
+class FirewallDecision:
+    allowed: bool
+    rule: str
+
+
+class FirewallWorkload(Workload):
+    """Allow-list firewall: permit iff (src subnet, port) is listed."""
+
+    name = "firewall"
+    category = WorkloadCategory.CATEGORY_1
+
+    #: Default static allow list: (source /24 prefix, destination port).
+    DEFAULT_ALLOW: FrozenSet[tuple[str, int]] = frozenset(
+        {
+            ("10.0.0", 443),
+            ("10.0.0", 80),
+            ("10.0.1", 443),
+            ("192.168.1", 22),
+            ("172.16.0", 8080),
+        }
+    )
+
+    def __init__(
+        self,
+        allow_list: Iterable[tuple[str, int]] | None = None,
+        mean_duration_ns: int = microseconds(17),
+    ) -> None:
+        self.allow_list: FrozenSet[tuple[str, int]] = (
+            frozenset(allow_list) if allow_list is not None else self.DEFAULT_ALLOW
+        )
+        self.mean_duration_ns = mean_duration_ns
+
+    # ------------------------------------------------------------------
+    def execute(self, payload: RequestHeader) -> FirewallDecision:
+        if not isinstance(payload, RequestHeader):
+            raise TypeError(f"firewall expects RequestHeader, got {type(payload)}")
+        prefix = payload.src_ip.rsplit(".", 1)[0]
+        key = (prefix, payload.dst_port)
+        if key in self.allow_list:
+            return FirewallDecision(allowed=True, rule=f"allow {prefix}/24:{payload.dst_port}")
+        return FirewallDecision(allowed=False, rule="default-deny")
+
+    def sample_duration_ns(self, rng: random.Random) -> int:
+        # Mean 17 us, clipped at the category's 20 us envelope.
+        value = truncated_normal_ns(
+            rng, self.mean_duration_ns, rel_std=0.08, floor_ns=microseconds(10)
+        )
+        return min(value, microseconds(20))
+
+    def example_payload(self, rng: random.Random) -> RequestHeader:
+        allowed = rng.random() < 0.5
+        if allowed and self.allow_list:
+            prefix, port = rng.choice(sorted(self.allow_list))
+            return RequestHeader(
+                src_ip=f"{prefix}.{rng.randint(1, 254)}",
+                dst_ip="10.9.9.9",
+                dst_port=port,
+            )
+        return RequestHeader(
+            src_ip=f"203.0.{rng.randint(0, 255)}.{rng.randint(1, 254)}",
+            dst_ip="10.9.9.9",
+            dst_port=rng.choice([25, 445, 3389]),
+        )

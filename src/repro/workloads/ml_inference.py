@@ -1,0 +1,106 @@
+"""uLL ML-inference workload (paper §1's motivation list).
+
+The introduction cites "machine learning (ML) inference tasks" among
+the ultra-low-latency services (e.g. Cloudflare's per-request model
+scoring).  This workload implements a real, tiny fixed-weight MLP —
+one hidden ReLU layer and a sigmoid output — over a small feature
+vector, the shape of per-request scoring models (bot detection, fraud
+flags) that run in the microsecond range.
+
+It is an *extension* beyond the paper's three evaluated categories; its
+duration envelope sits in the Category-1 range (<= 20 us).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.workloads.base import Workload, WorkloadCategory, truncated_normal_ns
+from repro.sim.units import microseconds
+
+INPUT_FEATURES = 8
+HIDDEN_UNITS = 6
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One scoring request: a fixed-width feature vector."""
+
+    features: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.features) != INPUT_FEATURES:
+            raise ValueError(
+                f"expected {INPUT_FEATURES} features, got {len(self.features)}"
+            )
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    score: float
+    flagged: bool
+
+
+def _deterministic_weights(seed: int, rows: int, cols: int) -> List[List[float]]:
+    """Small fixed weight matrix derived from a seed (the 'shipped
+    model'); deterministic so results are testable."""
+    rng = random.Random(seed)
+    return [
+        [rng.uniform(-1.0, 1.0) for _ in range(cols)] for _ in range(rows)
+    ]
+
+
+class MlInferenceWorkload(Workload):
+    """Fixed 8-6-1 MLP with ReLU hidden layer and sigmoid output."""
+
+    name = "ml-inference"
+    category = WorkloadCategory.CATEGORY_1
+
+    def __init__(
+        self,
+        model_seed: int = 1234,
+        threshold: float = 0.5,
+        mean_duration_ns: int = microseconds(12),
+    ) -> None:
+        self.hidden_weights = _deterministic_weights(
+            model_seed, HIDDEN_UNITS, INPUT_FEATURES
+        )
+        self.hidden_bias = _deterministic_weights(model_seed + 1, 1, HIDDEN_UNITS)[0]
+        self.output_weights = _deterministic_weights(
+            model_seed + 2, 1, HIDDEN_UNITS
+        )[0]
+        self.output_bias = _deterministic_weights(model_seed + 3, 1, 1)[0][0]
+        self.threshold = threshold
+        self.mean_duration_ns = mean_duration_ns
+
+    # ------------------------------------------------------------------
+    def execute(self, payload: InferenceRequest) -> InferenceResult:
+        if not isinstance(payload, InferenceRequest):
+            raise TypeError(
+                f"inference expects InferenceRequest, got {type(payload)}"
+            )
+        hidden = []
+        for weights, bias in zip(self.hidden_weights, self.hidden_bias):
+            activation = sum(
+                w * x for w, x in zip(weights, payload.features)
+            ) + bias
+            hidden.append(max(0.0, activation))  # ReLU
+        logit = sum(
+            w * h for w, h in zip(self.output_weights, hidden)
+        ) + self.output_bias
+        score = 1.0 / (1.0 + math.exp(-logit))
+        return InferenceResult(score=score, flagged=score >= self.threshold)
+
+    def sample_duration_ns(self, rng: random.Random) -> int:
+        value = truncated_normal_ns(
+            rng, self.mean_duration_ns, rel_std=0.1, floor_ns=microseconds(6)
+        )
+        return min(value, microseconds(20))
+
+    def example_payload(self, rng: random.Random) -> InferenceRequest:
+        return InferenceRequest(
+            features=tuple(rng.uniform(-2.0, 2.0) for _ in range(INPUT_FEATURES))
+        )

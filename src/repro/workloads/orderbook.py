@@ -1,0 +1,131 @@
+"""uLL finance workload (paper §1's motivation list).
+
+The introduction cites "finance microservices" among ultra-low-latency
+services (risk checks and order validation on the trading hot path run
+in single-digit microseconds).  This workload implements a real
+pre-trade risk check against an in-memory limit order book: price-band
+validation, max order size, and a notional-exposure cap.
+
+It is an *extension* beyond the paper's three evaluated categories; its
+duration envelope sits in the Category-2 range (~1-2 us).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.workloads.base import Workload, WorkloadCategory, truncated_normal_ns
+from repro.sim.units import nanoseconds
+
+
+class Side(enum.Enum):
+    BUY = "buy"
+    SELL = "sell"
+
+
+@dataclass(frozen=True)
+class Order:
+    symbol: str
+    side: Side
+    price: float
+    quantity: int
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError(f"price must be positive, got {self.price}")
+        if self.quantity <= 0:
+            raise ValueError(f"quantity must be positive, got {self.quantity}")
+
+    @property
+    def notional(self) -> float:
+        return self.price * self.quantity
+
+
+@dataclass(frozen=True)
+class MarketState:
+    """Reference prices per symbol (mid of the book's top level)."""
+
+    mid_prices: Dict[str, float]
+
+    def mid(self, symbol: str) -> Optional[float]:
+        return self.mid_prices.get(symbol)
+
+
+class RiskVerdict(enum.Enum):
+    ACCEPT = "accept"
+    REJECT_UNKNOWN_SYMBOL = "reject-unknown-symbol"
+    REJECT_PRICE_BAND = "reject-price-band"
+    REJECT_MAX_QUANTITY = "reject-max-quantity"
+    REJECT_NOTIONAL_CAP = "reject-notional-cap"
+
+
+@dataclass(frozen=True)
+class RiskDecision:
+    verdict: RiskVerdict
+
+    @property
+    def accepted(self) -> bool:
+        return self.verdict is RiskVerdict.ACCEPT
+
+
+DEFAULT_MARKET = MarketState(
+    mid_prices={"ACME": 100.0, "GLOBEX": 42.5, "INITECH": 7.25}
+)
+
+
+class OrderRiskWorkload(Workload):
+    """Pre-trade risk: price band, size limit, notional exposure cap."""
+
+    name = "order-risk"
+    category = WorkloadCategory.CATEGORY_2
+
+    def __init__(
+        self,
+        market: MarketState = DEFAULT_MARKET,
+        price_band: float = 0.05,          # +/- 5 % around mid
+        max_quantity: int = 10_000,
+        notional_cap: float = 1_000_000.0,
+        mean_duration_ns: int = nanoseconds(1800),
+    ) -> None:
+        if not 0 < price_band < 1:
+            raise ValueError(f"price band must be in (0, 1), got {price_band}")
+        self.market = market
+        self.price_band = price_band
+        self.max_quantity = max_quantity
+        self.notional_cap = notional_cap
+        self.mean_duration_ns = mean_duration_ns
+
+    # ------------------------------------------------------------------
+    def execute(self, payload: Order) -> RiskDecision:
+        if not isinstance(payload, Order):
+            raise TypeError(f"risk check expects Order, got {type(payload)}")
+        mid = self.market.mid(payload.symbol)
+        if mid is None:
+            return RiskDecision(RiskVerdict.REJECT_UNKNOWN_SYMBOL)
+        low = mid * (1.0 - self.price_band)
+        high = mid * (1.0 + self.price_band)
+        if not low <= payload.price <= high:
+            return RiskDecision(RiskVerdict.REJECT_PRICE_BAND)
+        if payload.quantity > self.max_quantity:
+            return RiskDecision(RiskVerdict.REJECT_MAX_QUANTITY)
+        if payload.notional > self.notional_cap:
+            return RiskDecision(RiskVerdict.REJECT_NOTIONAL_CAP)
+        return RiskDecision(RiskVerdict.ACCEPT)
+
+    def sample_duration_ns(self, rng: random.Random) -> int:
+        return truncated_normal_ns(
+            rng, self.mean_duration_ns, rel_std=0.12, floor_ns=nanoseconds(900)
+        )
+
+    def example_payload(self, rng: random.Random) -> Order:
+        symbol = rng.choice(sorted(self.market.mid_prices))
+        mid = self.market.mid_prices[symbol]
+        return Order(
+            symbol=symbol,
+            side=rng.choice(list(Side)),
+            price=round(mid * rng.uniform(0.93, 1.07), 2),
+            quantity=rng.randint(1, 2_000),
+        )

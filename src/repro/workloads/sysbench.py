@@ -1,0 +1,66 @@
+"""Background CPU-intensive workload (paper §5.2 uses sysbench).
+
+The overhead study keeps "10 1-vCPU sandboxes (each running a
+CPU-intensive application with sysbench)" busy while uLL sandboxes are
+paused and resumed.  sysbench's CPU test verifies primality of integers
+up to a bound; we implement the same kernel.  As a continuous hog it
+has no natural per-invocation duration — ``sample_duration_ns`` draws
+one verification round's length.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.base import Workload, WorkloadCategory, truncated_normal_ns
+from repro.sim.units import milliseconds
+
+
+@dataclass(frozen=True)
+class PrimeRequest:
+    """One sysbench round: verify primes up to *limit*."""
+
+    limit: int
+
+
+def primes_up_to(limit: int) -> List[int]:
+    """Trial-division prime enumeration, the sysbench CPU kernel."""
+    if limit < 2:
+        return []
+    found: List[int] = []
+    for candidate in range(2, limit + 1):
+        is_prime = True
+        divisor = 2
+        while divisor * divisor <= candidate:
+            if candidate % divisor == 0:
+                is_prime = False
+                break
+            divisor += 1
+        if is_prime:
+            found.append(candidate)
+    return found
+
+
+class SysbenchCpuWorkload(Workload):
+    """sysbench-style prime verification rounds."""
+
+    name = "sysbench-cpu"
+    category = WorkloadCategory.BACKGROUND
+
+    def __init__(self, mean_round_ns: int = milliseconds(100)) -> None:
+        self.mean_round_ns = mean_round_ns
+
+    def execute(self, payload: PrimeRequest) -> int:
+        if not isinstance(payload, PrimeRequest):
+            raise TypeError(f"sysbench expects PrimeRequest, got {type(payload)}")
+        return len(primes_up_to(payload.limit))
+
+    def sample_duration_ns(self, rng: random.Random) -> int:
+        return truncated_normal_ns(
+            rng, self.mean_round_ns, rel_std=0.05, floor_ns=milliseconds(50)
+        )
+
+    def example_payload(self, rng: random.Random) -> PrimeRequest:
+        return PrimeRequest(limit=rng.randint(1_000, 10_000))

@@ -1,0 +1,138 @@
+"""Long-running workload: the SEBS thumbnail generator (paper §5.4).
+
+The colocation study triggers "the thumbnail generator from the SEBS
+benchmark suite, which generates thumbnails from images stored on an
+Amazon S3 bucket".  We implement a real (if tiny) nearest-neighbour
+downscaler over an in-memory object store standing in for S3, with the
+duration envelope of the paper's long-running class (> 1 s; fetch +
+decode + scale + store phases).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.base import Workload, WorkloadCategory
+from repro.sim.units import milliseconds
+
+
+@dataclass(frozen=True)
+class Image:
+    """A trivially-encoded grayscale image: row-major pixel bytes."""
+
+    width: int
+    height: int
+    pixels: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"bad dimensions {self.width}x{self.height}")
+        if len(self.pixels) != self.width * self.height:
+            raise ValueError(
+                f"pixel buffer has {len(self.pixels)} entries for "
+                f"{self.width}x{self.height}"
+            )
+
+    def at(self, x: int, y: int) -> int:
+        return self.pixels[y * self.width + x]
+
+
+class ObjectStore:
+    """In-memory stand-in for the S3 bucket SEBS reads and writes."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, Image] = {}
+
+    def put(self, key: str, image: Image) -> None:
+        self._objects[key] = image
+
+    def get(self, key: str) -> Image:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise KeyError(f"no object {key!r} in bucket") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self) -> List[str]:
+        return sorted(self._objects)
+
+
+@dataclass(frozen=True)
+class ThumbnailRequest:
+    source_key: str
+    target_key: str
+    target_width: int
+    target_height: int
+
+
+class ThumbnailWorkload(Workload):
+    """Nearest-neighbour downscale: bucket -> thumbnail -> bucket."""
+
+    name = "thumbnail"
+    category = WorkloadCategory.LONG_RUNNING
+
+    def __init__(
+        self,
+        store: ObjectStore | None = None,
+        mean_duration_ns: int = milliseconds(1800),
+        sigma: float = 0.18,
+    ) -> None:
+        self.store = store if store is not None else ObjectStore()
+        self.mean_duration_ns = mean_duration_ns
+        self.sigma = sigma
+
+    # ------------------------------------------------------------------
+    def execute(self, payload: ThumbnailRequest) -> Image:
+        if not isinstance(payload, ThumbnailRequest):
+            raise TypeError(
+                f"thumbnail expects ThumbnailRequest, got {type(payload)}"
+            )
+        if payload.target_width <= 0 or payload.target_height <= 0:
+            raise ValueError("thumbnail dimensions must be positive")
+        source = self.store.get(payload.source_key)
+        pixels: List[int] = []
+        for y in range(payload.target_height):
+            src_y = min(source.height - 1, y * source.height // payload.target_height)
+            for x in range(payload.target_width):
+                src_x = min(
+                    source.width - 1, x * source.width // payload.target_width
+                )
+                pixels.append(source.at(src_x, src_y))
+        thumbnail = Image(
+            width=payload.target_width,
+            height=payload.target_height,
+            pixels=tuple(pixels),
+        )
+        self.store.put(payload.target_key, thumbnail)
+        return thumbnail
+
+    def sample_duration_ns(self, rng: random.Random) -> int:
+        # Log-normal service time: heavy right tail, as image sizes vary.
+        import math
+
+        mu = math.log(self.mean_duration_ns) - 0.5 * self.sigma**2
+        return max(round(milliseconds(200)), round(rng.lognormvariate(mu, self.sigma)))
+
+    def example_payload(self, rng: random.Random) -> ThumbnailRequest:
+        key = f"images/img-{rng.randint(0, 9999):04d}.raw"
+        if key not in self.store:
+            width = rng.randint(64, 256)
+            height = rng.randint(64, 256)
+            self.store.put(
+                key,
+                Image(
+                    width=width,
+                    height=height,
+                    pixels=tuple(rng.randint(0, 255) for _ in range(width * height)),
+                ),
+            )
+        return ThumbnailRequest(
+            source_key=key,
+            target_key=key.replace("images/", "thumbs/"),
+            target_width=32,
+            target_height=32,
+        )

@@ -1,0 +1,104 @@
+"""Load-update coalescing: the fused update equals n-fold application."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import AffineUpdate, CoalescedUpdate, apply_n_times
+
+
+class TestAffineUpdate:
+    def test_apply(self):
+        update = AffineUpdate(alpha=0.5, beta=10.0)
+        assert update.apply(100.0) == 60.0
+
+    def test_apply_n_times_zero_is_identity(self):
+        update = AffineUpdate(alpha=0.9, beta=1.0)
+        assert apply_n_times(update, 42.0, 0) == 42.0
+
+    def test_apply_n_times_negative_rejected(self):
+        with pytest.raises(ValueError):
+            apply_n_times(AffineUpdate(0.5, 1.0), 1.0, -1)
+
+    def test_compose_n_returns_coalesced(self):
+        fused = AffineUpdate(0.5, 1.0).compose_n(3)
+        assert isinstance(fused, CoalescedUpdate)
+        assert fused.n == 3
+
+
+class TestCoalescedUpdate:
+    def test_n1_equals_single_application(self):
+        update = AffineUpdate(alpha=0.97, beta=22.0)
+        fused = CoalescedUpdate.precompute(0.97, 22.0, 1)
+        assert fused.apply(500.0) == pytest.approx(update.apply(500.0))
+
+    def test_n_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CoalescedUpdate.precompute(0.9, 1.0, 0)
+
+    def test_explicit_small_case(self):
+        # f(x) = 0.5x + 8, applied twice to 100: f(100)=58, f(58)=37.
+        fused = CoalescedUpdate.precompute(0.5, 8.0, 2)
+        assert fused.apply(100.0) == pytest.approx(37.0)
+
+    def test_alpha_one_degenerate_series(self):
+        # f(x) = x + 5 applied 4 times adds 20.
+        fused = CoalescedUpdate.precompute(1.0, 5.0, 4)
+        assert fused.apply(3.0) == pytest.approx(23.0)
+
+    def test_precomputed_fields(self):
+        fused = CoalescedUpdate.precompute(0.5, 8.0, 3)
+        assert fused.alpha_n == pytest.approx(0.125)
+        # beta * (1 - a^3) / (1 - a) = 8 * 0.875 / 0.5 = 14
+        assert fused.beta_sum == pytest.approx(14.0)
+
+    def test_pelt_shaped_parameters(self):
+        """The actual PELT constants from the load tracker."""
+        alpha = 0.5 ** (1.0 / 32.0)
+        beta = 1024.0 * (1.0 - alpha)
+        update = AffineUpdate(alpha, beta)
+        fused = CoalescedUpdate.precompute(alpha, beta, 36)
+        assert fused.apply(777.0) == pytest.approx(
+            apply_n_times(update, 777.0, 36), rel=1e-12
+        )
+
+
+class TestEquivalenceProperty:
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
+        beta=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        x=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200)
+    def test_coalesced_equals_iterated(self, alpha, beta, x, n):
+        """Paper §4.2: alpha^n x + beta (1-alpha^n)/(1-alpha) is exactly
+        f applied n times (we implement the corrected exponent; the
+        paper's printed n-1 is a typo against its own derivation)."""
+        update = AffineUpdate(alpha, beta)
+        fused = CoalescedUpdate.precompute(alpha, beta, n)
+        expected = apply_n_times(update, x, n)
+        got = fused.apply(x)
+        assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(
+        n=st.integers(min_value=1, max_value=128),
+        x=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_paper_formula_with_n_minus_1_disagrees(self, n, x):
+        """Documents the paper's typo: using alpha^(n-1) in the beta
+        term does NOT reproduce n-fold application (except trivially)."""
+        alpha, beta = 0.9, 7.0
+        update = AffineUpdate(alpha, beta)
+        expected = apply_n_times(update, x, n)
+        typo_beta_sum = beta * (1 - alpha ** (n - 1)) / (1 - alpha)
+        typo_value = (alpha ** n) * x + typo_beta_sum
+        correct = CoalescedUpdate.precompute(alpha, beta, n).apply(x)
+        assert math.isclose(correct, expected, rel_tol=1e-9, abs_tol=1e-6)
+        # the typo'd formula is off by beta * alpha^(n-1)
+        assert math.isclose(
+            expected - typo_value, beta * alpha ** (n - 1), rel_tol=1e-6
+        )

@@ -1,0 +1,47 @@
+"""Restore prefetch ablation."""
+
+import pytest
+
+from repro.experiments.ablations_restore import ablate_restore_prefetch
+from repro.sim.units import microseconds
+
+
+@pytest.fixture(scope="module")
+def points():
+    return ablate_restore_prefetch()
+
+
+class TestTradeoff:
+    def test_full_prefetch_matches_paper_restore(self, points):
+        full = points[-1]
+        assert full.prefetch_fraction == 1.0
+        assert full.restore_ns == pytest.approx(microseconds(1300), rel=0.01)
+        assert full.first_request_penalty_ns == 0
+
+    def test_restore_grows_with_prefetch(self, points):
+        restores = [p.restore_ns for p in points]
+        assert restores == sorted(restores)
+
+    def test_penalty_shrinks_with_prefetch(self, points):
+        penalties = [p.first_request_penalty_ns for p in points]
+        assert penalties == sorted(penalties, reverse=True)
+
+    def test_zero_prefetch_pays_all_faults(self, points):
+        lazy = points[0]
+        assert lazy.prefetched_pages == 0
+        assert lazy.first_request_penalty_ns > lazy.restore_ns
+
+    def test_full_prefetch_minimizes_effective_readiness(self, points):
+        """Faults cost ~6x a prefetch, so eager prefetch wins on the
+        effective metric — the FaaSnap design point."""
+        effective = [p.effective_ready_ns for p in points]
+        assert min(effective) == effective[-1]
+
+    def test_no_point_near_warm_territory(self, points):
+        """The paper's argument: even the best restore point is ~3
+        orders of magnitude above a ~1 us warm resume."""
+        assert min(p.effective_ready_ns for p in points) > microseconds(100)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ablate_restore_prefetch(fractions=(1.5,))

@@ -1,0 +1,67 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar, bar_chart, sparkline
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(100, 100, width=10) == "#" * 10
+
+    def test_empty_bar(self):
+        assert bar(0, 100, width=10) == "." * 10
+
+    def test_half_bar(self):
+        assert bar(50, 100, width=10) == "#" * 5 + "." * 5
+
+    def test_clamps_over_maximum(self):
+        assert bar(500, 100, width=4) == "####"
+
+    def test_clamps_negative(self):
+        assert bar(-5, 100, width=4) == "...."
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bar(1, 0)
+        with pytest.raises(ValueError):
+            bar(1, 10, width=0)
+
+
+class TestBarChart:
+    def test_renders_all_series_and_categories(self):
+        text = bar_chart(
+            {"warm": [6.0, 61.0], "horse": [0.8, 16.0]},
+            categories=["cat1", "cat3"],
+        )
+        assert "warm:" in text and "horse:" in text
+        assert text.count("cat1") == 2
+        assert "61.00%" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"s": [1.0]}, categories=["a", "b"])
+
+    def test_custom_unit(self):
+        text = bar_chart({"s": [5.0]}, categories=["a"], maximum=10, unit="ms")
+        assert "5.00ms" in text
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert list(line) == sorted(line)
+
+    def test_flat_series(self):
+        assert sparkline([7, 7, 7]) == "▁▁▁"
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0, 100])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

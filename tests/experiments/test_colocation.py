@@ -1,0 +1,59 @@
+"""CO: the §5.4 colocation study reproduces the isolation claims."""
+
+import pytest
+
+from repro.experiments.colocation import run_colocation
+
+
+@pytest.fixture(scope="module")
+def colocation():
+    return run_colocation(vcpu_counts=(1, 36), seed=0)
+
+
+class TestIsolation:
+    def test_mean_essentially_unchanged(self, colocation):
+        """Paper: no difference between the mean latencies.  We allow a
+        few us of drift on a ~1.8 s mean (< 0.001 %)."""
+        for vcpus in colocation.vcpu_counts():
+            delta = abs(colocation.mean_delta_us(vcpus))
+            vanil_mean = colocation.run("vanilla", vcpus).summary().mean_us
+            assert delta / vanil_mean < 1e-5
+
+    def test_p95_essentially_unchanged(self, colocation):
+        for vcpus in colocation.vcpu_counts():
+            delta = abs(colocation.p95_delta_us(vcpus))
+            vanil = colocation.run("vanilla", vcpus).summary().p95_us
+            assert delta / vanil < 1e-5
+
+    def test_no_preemptions_at_1_vcpu(self, colocation):
+        assert colocation.run("horse", 1).preemption_hits == 0
+
+    def test_p99_overhead_small_at_36_vcpus(self, colocation):
+        """Paper: up to ~30 us (0.00107 %) at 36 vCPUs."""
+        overhead_us = colocation.p99_overhead_us(36)
+        assert 0.0 <= overhead_us <= 60.0
+        assert colocation.p99_overhead_pct(36) <= 0.005
+
+    def test_p99_overhead_zero_at_1_vcpu(self, colocation):
+        assert colocation.p99_overhead_us(1) == pytest.approx(0.0, abs=1.0)
+
+
+class TestExperimentShape:
+    def test_same_arrivals_both_modes(self, colocation):
+        for vcpus in colocation.vcpu_counts():
+            assert (
+                colocation.run("vanilla", vcpus).summary().invocations
+                == colocation.run("horse", vcpus).summary().invocations
+            )
+
+    def test_thumbnails_run_longer_than_1s(self, colocation):
+        """Paper §5.4 targets the > 1 s function class."""
+        summary = colocation.run("vanilla", 1).summary()
+        assert summary.mean_us > 1_000_000
+
+    def test_reasonable_sample_size(self, colocation):
+        assert colocation.run("vanilla", 1).summary().invocations >= 50
+
+    def test_latencies_positive(self, colocation):
+        run = colocation.run("horse", 36)
+        assert all(lat > 0 for lat in run.latencies_us)

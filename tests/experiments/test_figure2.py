@@ -1,0 +1,54 @@
+"""F2: the resume breakdown reproduces §3.2."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.hypervisor.pause_resume import (
+    HOT_STEPS,
+    STEP_LOAD,
+    STEP_MERGE,
+)
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2(vcpu_counts=(1, 8, 36), repetitions=3)
+
+
+class TestHotStepDominance:
+    def test_hot_share_in_paper_band(self, figure2):
+        """Paper: steps 4+5 are 87.5 % to 93.1 % of the resume."""
+        for point in figure2.points:
+            assert 0.86 <= point.hot_share <= 0.94, (
+                f"{point.vcpus} vCPUs: {point.hot_share}"
+            )
+
+    def test_hot_share_grows_with_vcpus(self, figure2):
+        shares = figure2.hot_shares()
+        assert shares == sorted(shares)
+
+    def test_merge_dominates_load(self, figure2):
+        for point in figure2.points:
+            assert point.mean_step_ns[STEP_MERGE] > point.mean_step_ns[STEP_LOAD]
+
+
+class TestTotals:
+    def test_1vcpu_total_near_1_1us(self, figure2):
+        assert figure2.point(1).mean_total_ns == pytest.approx(1100, rel=0.05)
+
+    def test_total_grows_with_vcpus(self, figure2):
+        totals = [p.mean_total_ns for p in figure2.points]
+        assert totals == sorted(totals)
+
+    def test_every_point_has_six_steps(self, figure2):
+        for point in figure2.points:
+            assert len(point.mean_step_ns) == 6
+
+    def test_shares_sum_to_one(self, figure2):
+        for point in figure2.points:
+            assert sum(point.step_shares.values()) == pytest.approx(1.0)
+
+    def test_point_lookup(self, figure2):
+        assert figure2.point(8).vcpus == 8
+        with pytest.raises(KeyError):
+            figure2.point(99)

@@ -1,0 +1,58 @@
+"""F3: the four-setup resume comparison reproduces §5.1."""
+
+import pytest
+
+from repro.experiments.figure3 import SETUPS, run_figure3
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    return run_figure3(vcpu_counts=(1, 8, 36), repetitions=3)
+
+
+class TestSetups:
+    def test_all_four_setups_present(self, figure3):
+        assert set(figure3.series) == set(SETUPS) == {"vanil", "ppsm", "coal", "horse"}
+
+    def test_vcpu_counts(self, figure3):
+        assert figure3.vcpu_counts() == [1, 8, 36]
+
+
+class TestImprovementBands:
+    def test_coal_band_16_to_20_percent(self, figure3):
+        """Paper: coalescing improves the resume by 16 % to 20 %."""
+        for vcpus in figure3.vcpu_counts():
+            improvement = figure3.improvement("coal", vcpus)
+            assert 0.14 <= improvement <= 0.23, f"{vcpus}: {improvement}"
+
+    def test_ppsm_band_55_to_69_percent(self, figure3):
+        """Paper: P2SM improves the resume by 55 % to 69 %."""
+        for vcpus in figure3.vcpu_counts():
+            improvement = figure3.improvement("ppsm", vcpus)
+            assert 0.55 <= improvement <= 0.69, f"{vcpus}: {improvement}"
+
+    def test_horse_beats_both_mechanisms_alone(self, figure3):
+        for vcpus in figure3.vcpu_counts():
+            horse = figure3.mean_ns("horse", vcpus)
+            assert horse < figure3.mean_ns("ppsm", vcpus)
+            assert horse < figure3.mean_ns("coal", vcpus)
+
+    def test_horse_speedup_at_least_7x(self, figure3):
+        """Paper: up to 7.16x (ours exceeds it at high vCPU counts —
+        see EXPERIMENTS.md on the paper's inconsistent anchors)."""
+        speedups = [figure3.speedup("horse", v) for v in figure3.vcpu_counts()]
+        assert max(speedups) >= 7.16
+
+
+class TestHorseFlatness:
+    def test_horse_constant_in_vcpus(self, figure3):
+        assert figure3.horse_flatness() == pytest.approx(1.0, abs=0.02)
+
+    def test_horse_around_150ns(self, figure3):
+        for vcpus in figure3.vcpu_counts():
+            assert 100 <= figure3.mean_ns("horse", vcpus) <= 200
+
+    def test_vanil_grows_with_vcpus(self, figure3):
+        values = [figure3.mean_ns("vanil", v) for v in figure3.vcpu_counts()]
+        assert values == sorted(values)
+        assert values[-1] > values[0]

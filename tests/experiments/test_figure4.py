@@ -1,0 +1,50 @@
+"""F4: HORSE vs cold/restore/warm init percentages (§5.3)."""
+
+import pytest
+
+from repro.experiments.figure4 import FIGURE4_SCENARIOS, run_figure4
+from repro.faas.invocation import StartType
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return run_figure4(repetitions=3, seed=0)
+
+
+class TestStructure:
+    def test_four_scenarios_by_three_categories(self, figure4):
+        series = figure4.series()
+        assert set(series) == set(FIGURE4_SCENARIOS)
+        for values in series.values():
+            assert len(values) == 3
+
+
+class TestHorseWins:
+    def test_horse_lowest_init_share_everywhere(self, figure4):
+        for category in figure4.categories():
+            horse = figure4.init_pct(category, StartType.HORSE)
+            for scenario in (StartType.COLD, StartType.RESTORE, StartType.WARM):
+                assert horse < figure4.init_pct(category, scenario)
+
+    def test_horse_init_share_in_paper_band(self, figure4):
+        """Paper: between 0.77 % and 17.64 %."""
+        low, high = figure4.horse_init_pct_range()
+        assert 0.5 <= low <= 1.2
+        assert 10.0 <= high <= 20.0
+
+    def test_advantage_vs_warm_about_8x(self, figure4):
+        """Paper: up to 8.95x."""
+        assert 5.0 <= figure4.horse_advantage(StartType.WARM) <= 11.0
+
+    def test_advantage_vs_cold_about_140x(self, figure4):
+        """Paper: up to 142.84x."""
+        assert 100.0 <= figure4.horse_advantage(StartType.COLD) <= 160.0
+
+    def test_advantage_vs_restore_about_140x(self, figure4):
+        """Paper: up to 142.7x."""
+        assert 100.0 <= figure4.horse_advantage(StartType.RESTORE) <= 160.0
+
+    def test_cold_advantage_exceeds_warm_advantage(self, figure4):
+        assert figure4.horse_advantage(StartType.COLD) > figure4.horse_advantage(
+            StartType.WARM
+        )

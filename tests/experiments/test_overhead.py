@@ -1,0 +1,69 @@
+"""OV: the §5.2 overhead study stays inside the paper's bounds."""
+
+import pytest
+
+from repro.experiments.overhead import run_overhead
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    return run_overhead(vcpu_counts=(1, 36), seed=0)
+
+
+class TestMemory:
+    def test_memory_delta_at_36_vcpus_near_528kb(self, overhead):
+        assert overhead.memory_delta_bytes(36) == pytest.approx(528_000, rel=0.05)
+
+    def test_memory_delta_grows_with_vcpus(self, overhead):
+        assert overhead.memory_delta_bytes(36) > overhead.memory_delta_bytes(1)
+
+    def test_vanilla_has_no_extra_memory(self, overhead):
+        assert overhead.run("vanilla", 36).extra_memory_bytes == 0
+
+    def test_memory_overhead_below_1_percent(self, overhead):
+        """Headline claim: overhead in CPU and memory is < 1 %."""
+        assert overhead.run("horse", 36).memory_overhead_pct < 1.0
+
+    def test_running_memory_is_5gb(self, overhead):
+        """Paper: running sandboxes use ~5 GB."""
+        assert overhead.run("horse", 36).running_memory_bytes == pytest.approx(
+            5 * 1024**3, rel=0.05
+        )
+
+
+class TestCpu:
+    def test_pause_delta_below_paper_bound(self, overhead):
+        """Paper: pause-phase CPU increase <= 0.3 %."""
+        for vcpus in overhead.vcpu_counts():
+            assert overhead.pause_cpu_delta_pct(vcpus) <= 0.3
+
+    def test_resume_delta_below_paper_bound(self, overhead):
+        """Paper: resume-phase CPU increase <= 2.7 %."""
+        for vcpus in overhead.vcpu_counts():
+            assert overhead.resume_cpu_delta_pct(vcpus) <= 2.7
+
+    def test_pause_delta_nonnegative_at_36(self, overhead):
+        """HORSE does extra pause-time work (precompute), so the delta
+        is a (tiny) cost, not a saving, at high vCPU counts."""
+        assert overhead.pause_cpu_delta_pct(36) >= 0.0
+
+    def test_workload_work_scales_with_vcpus(self, overhead):
+        small = overhead.run("horse", 1).usage.workload_work_ns
+        large = overhead.run("horse", 36).usage.workload_work_ns
+        assert large > small
+
+
+class TestRunBookkeeping:
+    def test_samples_collected_every_500ms(self, overhead):
+        run = overhead.run("horse", 1)
+        assert run.samples > 10  # ~8 s horizon at 500 ms
+
+    def test_modes_and_sweep_present(self, overhead):
+        assert overhead.vcpu_counts() == [1, 36]
+        assert overhead.run("vanilla", 1).mode == "vanilla"
+
+    def test_unknown_mode_rejected(self):
+        from repro.experiments.overhead import _run_one
+
+        with pytest.raises(ValueError):
+            _run_one("kvm", 1, 0)

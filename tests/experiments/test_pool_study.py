@@ -1,0 +1,71 @@
+"""Warm-pool keep-alive study."""
+
+import pytest
+
+from repro.experiments.pool_study import run_pool_study
+from repro.faas.keepalive import FixedKeepAlive
+from repro.sim.units import seconds
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_pool_study(seed=0)
+
+
+class TestHitRates:
+    def test_all_policies_ran_same_trace(self, study):
+        triggers = {study.outcome(n).triggers for n in study.policy_names()}
+        assert len(triggers) == 1
+
+    def test_longer_fixed_window_higher_hit_rate(self, study):
+        assert (
+            study.outcome("fixed-120s").hit_rate
+            >= study.outcome("fixed-30s").hit_rate
+            >= study.outcome("fixed-5s").hit_rate
+        )
+
+    def test_hits_plus_colds_equals_triggers(self, study):
+        for name in study.policy_names():
+            outcome = study.outcome(name)
+            assert outcome.warm_hits + outcome.cold_starts == outcome.triggers
+
+    def test_histogram_beats_shortest_fixed(self, study):
+        assert (
+            study.outcome("histogram").hit_rate
+            > study.outcome("fixed-5s").hit_rate
+        )
+
+    def test_shorter_window_more_evictions(self, study):
+        assert (
+            study.outcome("fixed-5s").evictions
+            >= study.outcome("fixed-120s").evictions
+        )
+
+    def test_mean_init_tracks_cold_starts(self, study):
+        """More cold starts -> higher mean initialization."""
+        by_colds = sorted(
+            (study.outcome(n) for n in study.policy_names()),
+            key=lambda o: o.cold_starts,
+        )
+        inits = [o.mean_init_us for o in by_colds]
+        assert inits == sorted(inits)
+
+    def test_best_hit_rate_helper(self, study):
+        best = study.best_hit_rate()
+        assert study.outcome(best).hit_rate == max(
+            study.outcome(n).hit_rate for n in study.policy_names()
+        )
+
+
+class TestCustomPolicies:
+    def test_custom_policy_set(self):
+        result = run_pool_study(
+            policies={"only": FixedKeepAlive(seconds(60))},
+            functions=3,
+            duration_s=30.0,
+            seed=1,
+        )
+        assert result.policy_names() == ["only"]
+        outcome = result.outcome("only")
+        assert outcome.triggers > 0
+        assert 0.0 <= outcome.hit_rate <= 1.0

@@ -1,0 +1,96 @@
+"""Shared experiment machinery."""
+
+import pytest
+
+from repro.experiments.runner import (
+    RepeatedMeasurement,
+    SweepSeries,
+    fresh_platform,
+    max_relative_ci,
+    paused_sandbox,
+    repeat,
+)
+from repro.hypervisor.sandbox import SandboxState
+
+
+class TestRepeat:
+    def test_runs_requested_repetitions(self):
+        result = repeat(lambda rngs, i: float(i), repetitions=5)
+        assert result.values == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert result.mean == 2.0
+
+    def test_rngs_forked_per_repetition(self):
+        draws = []
+        repeat(lambda rngs, i: draws.append(rngs.stream("x").random()) or 0.0,
+               repetitions=3)
+        assert len(set(draws)) == 3
+
+    def test_deterministic_across_calls(self):
+        def measure(rngs, _):
+            return rngs.stream("x").random()
+
+        a = repeat(measure, repetitions=4, seed=9).values
+        b = repeat(measure, repetitions=4, seed=9).values
+        assert a == b
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            repeat(lambda rngs, i: 0.0, repetitions=0)
+
+
+class TestRepeatedMeasurement:
+    def test_mean_and_ci(self):
+        m = RepeatedMeasurement("x")
+        for v in (1.0, 2.0, 3.0):
+            m.add(v)
+        assert m.mean == 2.0
+        assert m.ci95.n == 3
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = RepeatedMeasurement("x").mean
+
+    def test_max_relative_ci(self):
+        tight = RepeatedMeasurement("t")
+        for v in (10.0, 10.0, 10.0):
+            tight.add(v)
+        loose = RepeatedMeasurement("l")
+        for v in (1.0, 100.0):
+            loose.add(v)
+        assert max_relative_ci([tight, loose]) > 0.5
+
+    def test_paper_ci_quality_on_resume_measurements(self):
+        """The paper claims 10 reps give <= 3 % CIs; our deterministic
+        cost model trivially satisfies it — guard it stays that way."""
+        def measure(rngs, _):
+            virt = fresh_platform()
+            sandbox = paused_sandbox(virt, vcpus=4)
+            return float(virt.vanilla.resume(sandbox, 0).total_ns)
+
+        result = repeat(measure, repetitions=10)
+        assert result.ci95.relative_half_width <= 0.03
+
+
+class TestFixtures:
+    def test_fresh_platform_independent(self):
+        a = fresh_platform()
+        b = fresh_platform()
+        assert a.host is not b.host
+
+    def test_paused_sandbox_state(self):
+        virt = fresh_platform()
+        sandbox = paused_sandbox(virt, vcpus=3)
+        assert sandbox.state is SandboxState.PAUSED
+        assert sandbox.vcpu_count == 3
+
+
+class TestSweepSeries:
+    def test_rows_sorted_by_parameter(self):
+        series = SweepSeries(name="s", parameter="vcpus")
+        for value in (36, 1, 8):
+            m = RepeatedMeasurement(str(value))
+            m.add(float(value))
+            series.add_point(value, m)
+        assert series.parameters() == [1, 8, 36]
+        assert series.means() == [1.0, 8.0, 36.0]
+        assert series.as_rows()[0] == (1, 1.0, 0.0)

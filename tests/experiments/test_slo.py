@@ -1,0 +1,67 @@
+"""SLO-attainment experiment."""
+
+import pytest
+
+from repro.experiments.slo import DEFAULT_BUDGETS_NS, SLO_SCENARIOS, run_slo
+from repro.faas.invocation import StartType
+from repro.sim.units import microseconds
+
+
+@pytest.fixture(scope="module")
+def slo():
+    return run_slo(invocations=40, seed=0)
+
+
+class TestAttainment:
+    def test_cold_and_restore_attain_nothing(self, slo):
+        """A 1.5 s or 1300 us init blows any uLL budget."""
+        for category in slo.categories():
+            assert slo.attainment(category, StartType.COLD) == 0.0
+            assert slo.attainment(category, StartType.RESTORE) == 0.0
+
+    def test_horse_attains_essentially_everything(self, slo):
+        # the firewall envelope clips at exactly its budget, so a draw
+        # at the clip plus 132 ns of init can land marginally over
+        for category in slo.categories():
+            assert slo.attainment(category, StartType.HORSE) >= 0.95
+
+    def test_horse_never_below_warm(self, slo):
+        for category in slo.categories():
+            assert slo.attainment(category, StartType.HORSE) >= slo.attainment(
+                category, StartType.WARM
+            )
+
+    def test_warm_loses_some_firewall_budget(self, slo):
+        """Firewall runs ~17-20 us against a 20 us budget: the ~1.1 us
+        vanilla resume pushes a visible fraction over the line."""
+        warm = slo.attainment("firewall", StartType.WARM)
+        assert 0.5 <= warm < 1.0
+
+    def test_grid_complete(self, slo):
+        assert len(slo.cells) == len(slo.categories()) * len(SLO_SCENARIOS)
+        assert slo.invocations_per_cell == 40
+
+
+class TestConfiguration:
+    def test_budgets_cover_all_categories(self):
+        assert set(DEFAULT_BUDGETS_NS) == {"firewall", "nat", "array-filter"}
+
+    def test_zero_invocations_rejected(self):
+        with pytest.raises(ValueError):
+            run_slo(invocations=0)
+
+    def test_missing_budget_rejected(self):
+        from repro.workloads import MlInferenceWorkload
+
+        with pytest.raises(KeyError):
+            run_slo(invocations=1, workloads=[MlInferenceWorkload()])
+
+    def test_custom_budget_changes_outcome(self):
+        # An absurdly tight budget fails even HORSE.
+        result = run_slo(
+            invocations=10,
+            budgets_ns={"firewall": 100, "nat": 100, "array-filter": 100},
+            scenarios=(StartType.HORSE,),
+        )
+        for category in result.categories():
+            assert result.attainment(category, StartType.HORSE) == 0.0

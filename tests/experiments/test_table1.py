@@ -1,0 +1,88 @@
+"""T1/F1: the Table 1 grid reproduces the paper's anchors."""
+
+import pytest
+
+from repro.experiments.table1 import TABLE1_SCENARIOS, run_table1
+from repro.faas.invocation import StartType
+
+REPS = 3  # enough for band checks; benches run the full 10
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(repetitions=REPS, seed=0)
+
+
+class TestStructure:
+    def test_all_cells_present(self, table1):
+        assert len(table1.cells) == 9  # 3 categories x 3 scenarios
+
+    def test_categories(self, table1):
+        assert table1.categories() == ["array-filter", "firewall", "nat"]
+
+
+class TestInitializationAnchors:
+    def test_cold_is_1_5s(self, table1):
+        for category in table1.categories():
+            cell = table1.cell(category, StartType.COLD)
+            assert cell.mean_init_us == pytest.approx(1.5e6, rel=0.05)
+
+    def test_restore_is_1300us(self, table1):
+        for category in table1.categories():
+            cell = table1.cell(category, StartType.RESTORE)
+            assert cell.mean_init_us == pytest.approx(1300, rel=0.05)
+
+    def test_warm_is_1_1us(self, table1):
+        for category in table1.categories():
+            cell = table1.cell(category, StartType.WARM)
+            assert cell.mean_init_us == pytest.approx(1.1, rel=0.1)
+
+
+class TestExecutionAnchors:
+    def test_category_means(self, table1):
+        expected = {"firewall": 17.0, "nat": 1.5, "array-filter": 0.7}
+        for category, target in expected.items():
+            cell = table1.cell(category, StartType.WARM)
+            assert cell.mean_exec_us == pytest.approx(target, rel=0.25)
+
+
+class TestInitPercentages:
+    def test_cold_above_99_99(self, table1):
+        for category in table1.categories():
+            assert table1.cell(category, StartType.COLD).mean_init_pct > 99.9
+
+    def test_restore_in_paper_band(self, table1):
+        for category in table1.categories():
+            pct = table1.cell(category, StartType.RESTORE).mean_init_pct
+            assert 98.0 < pct < 100.0
+
+    def test_warm_band_per_category(self, table1):
+        """Paper: 6.07 % / 42.3 % / 61.1 % for categories 1/2/3."""
+        bands = {
+            "firewall": (4.0, 9.0),
+            "nat": (35.0, 50.0),
+            "array-filter": (55.0, 68.0),
+        }
+        for category, (low, high) in bands.items():
+            pct = table1.cell(category, StartType.WARM).mean_init_pct
+            assert low <= pct <= high, f"{category}: {pct}"
+
+    def test_warm_percentage_grows_as_exec_shrinks(self, table1):
+        """Figure 1's key visual: the shorter the workload, the larger
+        the init share."""
+        fw = table1.cell("firewall", StartType.WARM).mean_init_pct
+        nat = table1.cell("nat", StartType.WARM).mean_init_pct
+        arr = table1.cell("array-filter", StartType.WARM).mean_init_pct
+        assert fw < nat < arr
+
+
+class TestFigure1Series:
+    def test_series_cover_all_scenarios(self, table1):
+        series = table1.figure1_series()
+        assert set(series) == set(TABLE1_SCENARIOS)
+        for values in series.values():
+            assert len(values) == 3
+
+    def test_percentages_bounded(self, table1):
+        for values in table1.figure1_series().values():
+            assert all(0.0 <= v <= 100.0 for v in values)

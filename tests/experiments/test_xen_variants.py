@@ -1,0 +1,65 @@
+"""Xen-side experiments: the paper ran both platforms and reports
+"similar observations"; these runs check that claim holds here too."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.overhead import run_overhead
+from repro.experiments.slo import run_slo
+from repro.experiments.table1 import run_table1
+from repro.faas.invocation import StartType
+
+
+class TestXenTable1:
+    @pytest.fixture(scope="class")
+    def xen_table1(self):
+        return run_table1(repetitions=2, platform="xen")
+
+    def test_warm_start_slightly_slower_than_firecracker(self, xen_table1):
+        fc = run_table1(repetitions=2, platform="firecracker")
+        assert (
+            xen_table1.cell("firewall", StartType.WARM).mean_init_us
+            > fc.cell("firewall", StartType.WARM).mean_init_us
+        )
+
+    def test_same_ordering_of_scenarios(self, xen_table1):
+        for category in xen_table1.categories():
+            cold = xen_table1.cell(category, StartType.COLD).mean_init_us
+            restore = xen_table1.cell(category, StartType.RESTORE).mean_init_us
+            warm = xen_table1.cell(category, StartType.WARM).mean_init_us
+            assert cold > restore > warm
+
+    def test_warm_init_share_band_similar(self, xen_table1):
+        """'Similar observations': the warm shares stay in the same
+        bands the paper reports for Firecracker."""
+        assert 4.0 <= xen_table1.cell("firewall", StartType.WARM).mean_init_pct <= 10.0
+        assert 55.0 <= xen_table1.cell(
+            "array-filter", StartType.WARM
+        ).mean_init_pct <= 70.0
+
+
+class TestXenFigure2:
+    def test_hot_steps_dominate_on_xen_too(self):
+        result = run_figure2(vcpu_counts=(1, 36), repetitions=2, platform="xen")
+        for point in result.points:
+            assert point.hot_share >= 0.86
+        assert result.points[-1].hot_share > result.points[0].hot_share
+
+
+class TestXenOverheadAndSlo:
+    def test_overhead_bounds_hold_on_xen(self):
+        result = run_overhead(vcpu_counts=(36,), seed=0, platform="xen")
+        assert result.memory_delta_bytes(36) == pytest.approx(528_600, rel=0.05)
+        assert result.pause_cpu_delta_pct(36) <= 0.3
+        assert result.resume_cpu_delta_pct(36) <= 2.7
+
+    def test_horse_attainment_on_xen(self):
+        result = run_slo(
+            invocations=20,
+            platform="xen",
+            scenarios=(StartType.WARM, StartType.HORSE),
+        )
+        for category in result.categories():
+            assert result.attainment(category, StartType.HORSE) >= result.attainment(
+                category, StartType.WARM
+            )

@@ -1,0 +1,125 @@
+"""Pool autoscaler: rate tracking and reconciliation."""
+
+import pytest
+
+from repro.faas import FaaSPlatform, FunctionSpec, StartType
+from repro.faas.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.sim.units import microseconds, seconds
+from repro.workloads import FirewallWorkload
+
+
+def make_platform():
+    faas = FaaSPlatform.build("firecracker", seed=3)
+    faas.register(FunctionSpec("fw", FirewallWorkload()))
+    return faas
+
+
+def make_autoscaler(faas, **overrides):
+    defaults = dict(
+        window_ns=seconds(10), period_ns=seconds(2), headroom=1.5,
+        min_pool=1, max_pool=8,
+    )
+    defaults.update(overrides)
+    return PoolAutoscaler(
+        faas,
+        "fw",
+        expected_busy_ns=seconds(1),  # exaggerated busy time for testing
+        config=AutoscalerConfig(**defaults),
+    )
+
+
+class TestConfig:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_pool=5, max_pool=2)
+
+    def test_bad_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(headroom=0.5)
+
+    def test_bad_busy_time_rejected(self):
+        faas = make_platform()
+        with pytest.raises(ValueError):
+            PoolAutoscaler(faas, "fw", expected_busy_ns=0)
+
+
+class TestRateTracking:
+    def test_rate_counts_window_arrivals(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas)
+        for _ in range(20):
+            scaler.observe_trigger()
+        assert scaler.observed_rate_per_second() == pytest.approx(2.0)
+
+    def test_old_arrivals_expire(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas)
+        scaler.observe_trigger()
+        faas.engine.run(until=seconds(20))
+        assert scaler.observed_rate_per_second() == 0.0
+
+    def test_desired_size_follows_littles_law(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas)
+        # 2/s observed, 1 s busy, 1.5 headroom -> ceil(3.0) = 3
+        for _ in range(20):
+            scaler.observe_trigger()
+        assert scaler.desired_pool_size() == 3
+
+    def test_desired_size_clamped(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas, max_pool=2)
+        for _ in range(100):
+            scaler.observe_trigger()
+        assert scaler.desired_pool_size() == 2
+
+    def test_idle_floor(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas, min_pool=1)
+        assert scaler.desired_pool_size() == 1
+
+
+class TestReconciliation:
+    def test_scale_up_provisions_sandboxes(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas)
+        scaler.start()
+        for _ in range(20):
+            scaler.observe_trigger()
+        faas.engine.run(until=seconds(3))  # one reconciliation
+        assert faas.pool.size("fw") == 3
+        assert scaler.scale_ups >= 1
+
+    def test_scale_down_lowers_quota(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas, min_pool=1)
+        scaler.start()
+        for _ in range(20):
+            scaler.observe_trigger()
+        faas.engine.run(until=seconds(3))
+        assert faas.pool.provisioned_count("fw") == 3
+        # traffic stops; the quota shrinks on a later reconciliation
+        faas.engine.run(until=seconds(15))
+        assert faas.pool.provisioned_count("fw") == 1
+
+    def test_stop_halts_reconciliation(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas)
+        scaler.start()
+        faas.engine.run(until=seconds(3))
+        count = scaler.reconciliations
+        scaler.stop()
+        faas.engine.run(until=seconds(30))
+        assert scaler.reconciliations == count
+
+    def test_scaled_pool_serves_horse_triggers(self):
+        faas = make_platform()
+        scaler = make_autoscaler(faas)
+        scaler.start()
+        for _ in range(20):
+            scaler.observe_trigger()
+        faas.engine.run(until=seconds(3))
+        invocation = faas.trigger("fw", StartType.HORSE)
+        faas.engine.run(until=faas.engine.now + seconds(1))
+        assert invocation.completed
+        assert invocation.initialization_ns < microseconds(1)

@@ -1,0 +1,78 @@
+"""Gateway behaviors not covered by the platform tests: interference
+injection, logic errors, invocation filtering."""
+
+import pytest
+
+from repro.faas import FaaSPlatform, FunctionSpec, StartType
+from repro.sim.units import seconds
+from repro.workloads import FirewallWorkload, NatWorkload
+
+
+def make_platform():
+    faas = FaaSPlatform.build("firecracker", seed=13)
+    faas.register(FunctionSpec("fw", FirewallWorkload()))
+    faas.register(FunctionSpec("nat", NatWorkload()))
+    return faas
+
+
+class TestInterferenceInjection:
+    def test_extra_delay_extends_execution_window(self):
+        faas = make_platform()
+        clean = faas.trigger("fw", StartType.COLD)
+        delayed = faas.trigger("fw", StartType.COLD, extra_delay_ns=5_000)
+        faas.engine.run(until=seconds(3))
+        assert delayed.interference_ns == 5_000
+        assert clean.interference_ns == 0
+        assert delayed.exec_end_ns - delayed.exec_start_ns >= 5_000
+
+    def test_negative_extra_delay_clamped(self):
+        faas = make_platform()
+        invocation = faas.trigger("fw", StartType.COLD, extra_delay_ns=-100)
+        assert invocation.interference_ns == 0
+
+
+class TestUnknownStartType:
+    def test_unconfigured_strategy_rejected(self):
+        faas = make_platform()
+        del faas.gateway.strategies[StartType.COLD]
+        with pytest.raises(ValueError, match="no strategy configured"):
+            faas.trigger("fw", StartType.COLD)
+
+
+class TestCompletedInvocationsFilter:
+    def test_filter_by_function(self):
+        faas = make_platform()
+        faas.trigger("fw", StartType.COLD)
+        faas.trigger("nat", StartType.COLD)
+        faas.trigger("fw", StartType.COLD)
+        faas.engine.run(until=seconds(3))
+        assert len(faas.gateway.completed_invocations("fw")) == 2
+        assert len(faas.gateway.completed_invocations("nat")) == 1
+        assert len(faas.gateway.completed_invocations()) == 3
+
+    def test_timeline_is_precomputed_at_trigger(self):
+        """Contract: the gateway plans the whole timeline at trigger
+        time (durations are drawn up front), so an invocation's end is
+        known — and it counts as completed — before the clock reaches
+        it.  Side effects (pause, pool return, hooks) still happen at
+        the scheduled completion event."""
+        faas = make_platform()
+        invocation = faas.trigger("fw", StartType.COLD)
+        assert invocation.completed
+        assert invocation.exec_end_ns > faas.engine.now
+        assert faas.pool.size("fw") == 0  # not returned yet
+        faas.engine.run(until=seconds(3))
+        assert faas.pool.size("fw") == 1  # side effects ran at the event
+
+
+class TestInvocationRecordKeeping:
+    def test_all_triggers_recorded(self):
+        faas = make_platform()
+        for _ in range(4):
+            faas.trigger("fw", StartType.COLD)
+        assert len(faas.gateway.invocations) == 4
+
+    def test_sandbox_id_recorded(self):
+        faas = make_platform()
+        invocation = faas.trigger("fw", StartType.COLD)
+        assert invocation.sandbox_id is not None

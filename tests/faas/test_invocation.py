@@ -1,0 +1,56 @@
+"""Invocation timeline arithmetic."""
+
+import pytest
+
+from repro.faas.invocation import Invocation, StartType
+
+
+def completed_invocation(trigger=1000, ready=2000, end=12_000):
+    inv = Invocation(function_name="fw", trigger_ns=trigger)
+    inv.start_type = StartType.WARM
+    inv.sandbox_ready_ns = ready
+    inv.exec_start_ns = ready
+    inv.exec_end_ns = end
+    return inv
+
+
+class TestTimeline:
+    def test_initialization_ns(self):
+        assert completed_invocation().initialization_ns == 1000
+
+    def test_execution_ns(self):
+        assert completed_invocation().execution_ns == 10_000
+
+    def test_total_ns(self):
+        assert completed_invocation().total_ns == 11_000
+
+    def test_init_percentage(self):
+        inv = completed_invocation(trigger=0, ready=50, end=100)
+        assert inv.init_percentage == pytest.approx(50.0)
+
+    def test_init_percentage_tiny_init(self):
+        inv = completed_invocation(trigger=0, ready=1, end=10_000)
+        assert inv.init_percentage == pytest.approx(0.01)
+
+    def test_completed_flag(self):
+        inv = Invocation(function_name="fw", trigger_ns=0)
+        assert not inv.completed
+        assert completed_invocation().completed
+
+    def test_incomplete_total_raises(self):
+        inv = Invocation(function_name="fw", trigger_ns=0)
+        with pytest.raises(ValueError):
+            _ = inv.total_ns
+
+    def test_no_ready_time_raises(self):
+        inv = Invocation(function_name="fw", trigger_ns=0)
+        with pytest.raises(ValueError):
+            _ = inv.initialization_ns
+
+    def test_unique_ids(self):
+        a = Invocation(function_name="fw", trigger_ns=0)
+        b = Invocation(function_name="fw", trigger_ns=0)
+        assert a.invocation_id != b.invocation_id
+
+    def test_start_types(self):
+        assert {t.value for t in StartType} == {"cold", "restore", "warm", "horse"}

@@ -1,0 +1,149 @@
+"""Control plane: command parsing (step 1) and routing."""
+
+import pytest
+
+from repro.core.hot_resume import HorsePauseResume
+from repro.hypervisor.control import (
+    Action,
+    Command,
+    CommandError,
+    ControlPlane,
+    UnknownSandboxError,
+)
+from repro.hypervisor.platform import firecracker_platform
+from repro.hypervisor.sandbox import Sandbox
+
+
+def make_control(with_horse=True):
+    virt = firecracker_platform()
+    horse = (
+        HorsePauseResume(virt.host, virt.policy, virt.costs)
+        if with_horse
+        else None
+    )
+    control = ControlPlane(virt.vanilla, horse)
+    sandbox = Sandbox(vcpus=2, memory_mb=256, is_ull=True)
+    virt.vanilla.place_initial(sandbox, 0)
+    control.attach(sandbox)
+    return virt, control, sandbox
+
+
+class TestCommandParse:
+    def test_valid_resume(self):
+        command = Command.parse({"action": "resume", "sandbox_id": "sb-1"})
+        assert command.action is Action.RESUME
+        assert command.sandbox_id == "sb-1"
+        assert command.fast_path is False
+
+    def test_fast_path_flag(self):
+        command = Command.parse(
+            {"action": "resume", "sandbox_id": "sb-1", "fast_path": True}
+        )
+        assert command.fast_path
+
+    def test_action_case_insensitive(self):
+        assert Command.parse(
+            {"action": "PAUSE", "sandbox_id": "x"}
+        ).action is Action.PAUSE
+
+    @pytest.mark.parametrize(
+        "request_body",
+        [
+            {},                                          # nothing
+            {"action": "resume"},                        # no sandbox
+            {"action": "resume", "sandbox_id": ""},      # empty id
+            {"action": "reboot", "sandbox_id": "x"},     # unknown action
+            {"action": 7, "sandbox_id": "x"},            # non-string action
+            {"action": "resume", "sandbox_id": "x", "extra": 1},  # unknown field
+            {"action": "resume", "sandbox_id": "x", "fast_path": "yes"},
+        ],
+        ids=["empty", "no-id", "empty-id", "bad-action", "non-string",
+             "unknown-field", "bad-fastpath"],
+    )
+    def test_malformed_requests_rejected(self, request_body):
+        with pytest.raises(CommandError):
+            Command.parse(request_body)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(CommandError):
+            Command.parse("resume sb-1")
+
+
+class TestRouting:
+    def test_pause_then_resume_cycle(self):
+        _, control, sandbox = make_control()
+        pause = control.handle(
+            {"action": "pause", "sandbox_id": sandbox.sandbox_id}, 0
+        )
+        assert pause.ok and pause.state == "paused"
+        resume = control.handle(
+            {"action": "resume", "sandbox_id": sandbox.sandbox_id}, 0
+        )
+        assert resume.ok and resume.state == "running"
+        assert resume.result.total_ns > 500  # vanilla path
+
+    def test_fast_path_resume_uses_horse(self):
+        _, control, sandbox = make_control()
+        control.handle(
+            {"action": "pause", "sandbox_id": sandbox.sandbox_id,
+             "fast_path": True}, 0,
+        )
+        response = control.handle(
+            {"action": "resume", "sandbox_id": sandbox.sandbox_id,
+             "fast_path": True}, 0,
+        )
+        assert response.ok
+        assert response.result.total_ns < 200  # HORSE path
+
+    def test_fast_path_without_horse_rejected(self):
+        _, control, sandbox = make_control(with_horse=False)
+        control.handle({"action": "pause", "sandbox_id": sandbox.sandbox_id}, 0)
+        with pytest.raises(CommandError, match="no HORSE path"):
+            control.handle(
+                {"action": "resume", "sandbox_id": sandbox.sandbox_id,
+                 "fast_path": True}, 0,
+            )
+
+    def test_unknown_sandbox_404(self):
+        _, control, _ = make_control()
+        with pytest.raises(UnknownSandboxError):
+            control.handle({"action": "resume", "sandbox_id": "ghost"}, 0)
+
+    def test_status_reports_state(self):
+        _, control, sandbox = make_control()
+        response = control.handle(
+            {"action": "status", "sandbox_id": sandbox.sandbox_id}, 0
+        )
+        assert response.ok and response.state == "running"
+
+    def test_state_conflict_is_soft_failure(self):
+        """Resuming a running sandbox fails the sanity check (step 3)
+        but is a well-formed request: ok=False, no exception."""
+        _, control, sandbox = make_control()
+        response = control.handle(
+            {"action": "resume", "sandbox_id": sandbox.sandbox_id}, 0
+        )
+        assert not response.ok
+        assert "paused" in response.detail
+
+    def test_counters(self):
+        _, control, sandbox = make_control()
+        control.handle({"action": "status", "sandbox_id": sandbox.sandbox_id}, 0)
+        with pytest.raises(CommandError):
+            control.handle({"action": "bad"}, 0)
+        assert control.requests_served == 1
+        assert control.requests_rejected == 1
+
+
+class TestAttachment:
+    def test_double_attach_rejected(self):
+        _, control, sandbox = make_control()
+        with pytest.raises(CommandError):
+            control.attach(sandbox)
+
+    def test_detach(self):
+        _, control, sandbox = make_control()
+        control.detach(sandbox.sandbox_id)
+        assert control.managed() == []
+        with pytest.raises(UnknownSandboxError):
+            control.detach(sandbox.sandbox_id)

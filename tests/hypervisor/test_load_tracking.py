@@ -1,0 +1,93 @@
+"""PELT load tracking: decay, folds, coalesced equivalence."""
+
+import pytest
+
+from repro.core.coalesce import apply_n_times
+from repro.hypervisor.load_tracking import (
+    DECAY_FACTOR,
+    DEFAULT_ENTITY_WEIGHT,
+    PELT_PERIOD_NS,
+    RunqueueLoad,
+)
+
+
+class TestDecay:
+    def test_decay_halves_after_32_periods(self):
+        load = RunqueueLoad(value=1000.0)
+        load.decay_to(32 * PELT_PERIOD_NS)
+        assert load.value == pytest.approx(500.0, rel=1e-9)
+
+    def test_no_time_no_decay(self):
+        load = RunqueueLoad(value=100.0, last_update_ns=50)
+        load.decay_to(50)
+        assert load.value == 100.0
+
+    def test_decay_backwards_rejected(self):
+        load = RunqueueLoad(value=1.0, last_update_ns=100)
+        with pytest.raises(ValueError):
+            load.decay_to(50)
+
+    def test_decay_factor_definition(self):
+        assert DECAY_FACTOR ** 32 == pytest.approx(0.5)
+
+
+class TestEnqueue:
+    def test_enqueue_from_zero(self):
+        load = RunqueueLoad()
+        load.enqueue_entity(0)
+        assert load.value == pytest.approx(
+            DEFAULT_ENTITY_WEIGHT * (1 - DECAY_FACTOR)
+        )
+
+    def test_enqueue_is_affine(self):
+        """The paper's observation: the update is L(x) = alpha x + beta."""
+        load = RunqueueLoad(value=300.0)
+        update = load.enqueue_update()
+        load.enqueue_entity(0)
+        assert load.value == pytest.approx(update.apply(300.0))
+
+    def test_repeated_enqueue_converges_to_weight(self):
+        load = RunqueueLoad()
+        for _ in range(2000):
+            load.enqueue_entity(0)
+        assert load.value == pytest.approx(DEFAULT_ENTITY_WEIGHT, rel=1e-6)
+
+    def test_updates_counter(self):
+        load = RunqueueLoad()
+        load.enqueue_entity(0)
+        load.enqueue_entity(0)
+        assert load.updates_applied == 2
+
+
+class TestCoalescedApplication:
+    def test_apply_coalesced_equals_n_folds(self):
+        n = 36
+        iterated = RunqueueLoad(value=555.0)
+        update = iterated.enqueue_update()
+        for _ in range(n):
+            iterated.enqueue_entity(0)
+
+        fused = RunqueueLoad(value=555.0)
+        coalesced = update.compose_n(n)
+        fused.apply_coalesced(0, coalesced.alpha_n, coalesced.beta_sum)
+
+        assert fused.value == pytest.approx(iterated.value, rel=1e-12)
+        assert fused.updates_applied == 1
+
+    def test_apply_coalesced_decays_first(self):
+        fused = RunqueueLoad(value=1000.0)
+        fused.apply_coalesced(32 * PELT_PERIOD_NS, 1.0, 0.0)
+        assert fused.value == pytest.approx(500.0)
+
+
+class TestDequeue:
+    def test_dequeue_removes_contribution(self):
+        load = RunqueueLoad()
+        load.enqueue_entity(0)
+        load.dequeue_entity(0)
+        assert load.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_dequeue_floors_at_zero(self):
+        load = RunqueueLoad(value=1.0)
+        load.dequeue_entity(0, weight=1e6)
+        assert load.value == 0.0

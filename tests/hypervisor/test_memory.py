@@ -1,0 +1,111 @@
+"""Guest memory and the lazy-restore model."""
+
+import pytest
+
+from repro.hypervisor.memory import (
+    DEFAULT_WORKING_SET,
+    GuestMemory,
+    LazyRestoreModel,
+    PAGE_BYTES,
+    WorkingSet,
+)
+from repro.sim.units import microseconds
+
+
+class TestGuestMemory:
+    def test_page_count(self):
+        memory = GuestMemory(size_mb=512)
+        assert memory.total_pages == 512 * 1024 * 1024 // PAGE_BYTES
+
+    def test_starts_fully_resident(self):
+        memory = GuestMemory(size_mb=1)
+        assert memory.resident_pages == memory.total_pages
+
+    def test_evict_all(self):
+        memory = GuestMemory(size_mb=1)
+        memory.evict_all()
+        assert memory.resident_pages == 0
+
+    def test_touch_resident_page_no_fault(self):
+        memory = GuestMemory(size_mb=1)
+        assert memory.touch(0) is False
+        assert memory.faults == 0
+
+    def test_touch_cold_page_faults(self):
+        memory = GuestMemory(size_mb=1)
+        memory.evict_all()
+        assert memory.touch(0) is True
+        assert memory.faults == 1
+        assert memory.touch(0) is False  # now resident
+
+    def test_prefetch_counts_only_cold_pages(self):
+        memory = GuestMemory(size_mb=1)
+        memory.evict_all()
+        assert memory.prefetch([0, 1, 2]) == 3
+        assert memory.prefetch([2, 3]) == 1
+
+    def test_out_of_range_page_rejected(self):
+        memory = GuestMemory(size_mb=1)
+        with pytest.raises(IndexError):
+            memory.touch(memory.total_pages)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            GuestMemory(size_mb=0)
+
+
+class TestWorkingSet:
+    def test_contiguous(self):
+        ws = WorkingSet.contiguous(10, 5)
+        assert len(ws) == 5
+        assert 14 in ws.pages and 15 not in ws.pages
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkingSet.contiguous(-1, 5)
+
+
+class TestLazyRestoreModel:
+    def test_default_working_set_restores_in_1300us(self):
+        """The mechanistic model must land on the paper's aggregate."""
+        model = LazyRestoreModel()
+        assert model.restore_ns(DEFAULT_WORKING_SET) == pytest.approx(
+            microseconds(1300), rel=0.01
+        )
+
+    def test_restore_scales_with_working_set(self):
+        model = LazyRestoreModel()
+        small = model.restore_ns(WorkingSet.contiguous(0, 100))
+        large = model.restore_ns(WorkingSet.contiguous(0, 10_000))
+        assert small < large
+
+    def test_empty_working_set_costs_base_only(self):
+        model = LazyRestoreModel()
+        assert model.restore_ns(WorkingSet(frozenset())) == model.base_ns
+
+    def test_first_request_penalty_counts_cold_pages(self):
+        model = LazyRestoreModel()
+        memory = GuestMemory(size_mb=16)
+        memory.evict_all()
+        prefetched = WorkingSet.contiguous(0, 100)
+        memory.prefetch(prefetched.pages)
+        touched = WorkingSet.contiguous(50, 100)  # 50 warm, 50 cold
+        penalty = model.first_request_penalty_ns(memory, touched)
+        assert penalty == round(50 * model.demand_fault_ns)
+
+    def test_perfect_prefetch_no_penalty(self):
+        model = LazyRestoreModel()
+        memory = GuestMemory(size_mb=16)
+        memory.evict_all()
+        memory.prefetch(DEFAULT_WORKING_SET.pages)
+        assert model.first_request_penalty_ns(memory, DEFAULT_WORKING_SET) == 0
+
+    def test_prefetch_vs_fault_tradeoff(self):
+        """Prefetching a page is ~6x cheaper than demand-faulting it —
+        the FaaSnap premise."""
+        model = LazyRestoreModel()
+        assert model.demand_fault_ns / model.prefetch_page_ns >= 5.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            LazyRestoreModel(base_ns=-1)

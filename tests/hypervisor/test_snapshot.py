@@ -1,0 +1,84 @@
+"""Snapshot store: capture, restore, timing."""
+
+import pytest
+
+from repro.hypervisor.platform import firecracker_platform
+from repro.hypervisor.sandbox import Sandbox, SandboxState
+from repro.sim.units import microseconds
+
+
+def running_sandbox(virt, vcpus=2):
+    sandbox = Sandbox(vcpus=vcpus, memory_mb=512)
+    virt.vanilla.place_initial(sandbox, 0)
+    return sandbox
+
+
+class TestSnapshot:
+    def test_snapshot_captures_shape(self):
+        virt = firecracker_platform()
+        sandbox = running_sandbox(virt, vcpus=3)
+        image = virt.snapshots.snapshot("img", sandbox)
+        assert image.vcpu_count == 3
+        assert image.memory_mb == 512
+        assert image.source_id == sandbox.sandbox_id
+
+    def test_snapshot_requires_quiesced_state(self):
+        virt = firecracker_platform()
+        sandbox = Sandbox(vcpus=1, memory_mb=512)  # still CREATING
+        with pytest.raises(Exception):
+            virt.snapshots.snapshot("img", sandbox)
+
+    def test_snapshot_of_paused_sandbox_allowed(self):
+        virt = firecracker_platform()
+        sandbox = running_sandbox(virt)
+        virt.vanilla.pause(sandbox, 0)
+        virt.snapshots.snapshot("img", sandbox)
+        assert "img" in virt.snapshots
+
+    def test_names_listed(self):
+        virt = firecracker_platform()
+        sandbox = running_sandbox(virt)
+        virt.snapshots.snapshot("b", sandbox)
+        virt.snapshots.snapshot("a", sandbox)
+        assert virt.snapshots.names() == ["a", "b"]
+
+
+class TestRestore:
+    def test_restore_builds_equivalent_sandbox(self):
+        virt = firecracker_platform()
+        original = running_sandbox(virt, vcpus=4)
+        original.vcpus[2].vruntime = 123.0
+        virt.snapshots.snapshot("img", original)
+        clone, duration = virt.snapshots.restore("img")
+        assert clone.vcpu_count == 4
+        assert clone.memory_mb == 512
+        assert clone.vcpus[2].vruntime == 123.0
+        assert clone.sandbox_id != original.sandbox_id
+        assert clone.state is SandboxState.CREATING
+        assert duration > 0
+
+    def test_restore_cost_is_about_1300us(self):
+        virt = firecracker_platform()
+        virt.snapshots.snapshot("img", running_sandbox(virt))
+        _, duration = virt.snapshots.restore("img")
+        assert duration == pytest.approx(microseconds(1300), rel=0.05)
+
+    def test_restore_unknown_name_raises(self):
+        virt = firecracker_platform()
+        with pytest.raises(KeyError):
+            virt.snapshots.restore("nope")
+
+    def test_restore_counts(self):
+        virt = firecracker_platform()
+        virt.snapshots.snapshot("img", running_sandbox(virt))
+        virt.snapshots.restore("img")
+        virt.snapshots.restore("img")
+        assert virt.snapshots.restores == 2
+
+    def test_restores_are_independent_sandboxes(self):
+        virt = firecracker_platform()
+        virt.snapshots.snapshot("img", running_sandbox(virt))
+        a, _ = virt.snapshots.restore("img")
+        b, _ = virt.snapshots.restore("img")
+        assert a.sandbox_id != b.sandbox_id
+        assert a.vcpus[0] is not b.vcpus[0]

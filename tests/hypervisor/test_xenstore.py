@@ -1,0 +1,174 @@
+"""In-memory XenStore: paths, subtree semantics, watches."""
+
+import pytest
+
+from repro.hypervisor.xenstore import InMemoryXenStore, XenstoreLifecycleMirror
+
+
+@pytest.fixture
+def store():
+    return InMemoryXenStore()
+
+
+class TestReadWrite:
+    def test_roundtrip(self, store):
+        store.write("/vm/1/state", "running")
+        assert store.read("/vm/1/state") == "running"
+
+    def test_overwrite(self, store):
+        store.write("/k", "a")
+        store.write("/k", "b")
+        assert store.read("/k") == "b"
+
+    def test_read_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.read("/nope")
+
+    def test_directory_without_value_not_readable(self, store):
+        store.write("/vm/1/state", "running")
+        with pytest.raises(KeyError):
+            store.read("/vm/1")  # exists as a directory, holds no value
+
+    def test_exists(self, store):
+        store.write("/a/b", "1")
+        assert store.exists("/a")
+        assert store.exists("/a/b")
+        assert not store.exists("/a/c")
+
+    def test_relative_path_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write("vm/1", "x")
+
+    def test_whitespace_component_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write("/bad path", "x")
+
+    def test_root_write_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write("/", "x")
+
+
+class TestListDelete:
+    def test_list_children_sorted(self, store):
+        store.write("/vm/b/state", "x")
+        store.write("/vm/a/state", "y")
+        assert store.list("/vm") == ["a", "b"]
+
+    def test_list_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.list("/ghost")
+
+    def test_delete_subtree(self, store):
+        store.write("/vm/1/state", "running")
+        store.write("/vm/1/vcpus", "4")
+        assert store.delete("/vm/1") is True
+        assert not store.exists("/vm/1")
+        assert store.exists("/vm")
+
+    def test_delete_missing_returns_false(self, store):
+        assert store.delete("/ghost") is False
+
+
+class TestWatches:
+    def test_watch_fires_on_write_below_path(self, store):
+        events = []
+        store.watch("/vm", lambda path, value: events.append((path, value)))
+        store.write("/vm/1/state", "paused")
+        assert events == [("/vm/1/state", "paused")]
+
+    def test_watch_does_not_fire_elsewhere(self, store):
+        events = []
+        store.watch("/vm/1", lambda path, value: events.append(path))
+        store.write("/vm/2/state", "running")
+        assert events == []
+
+    def test_watch_fires_on_delete_with_none(self, store):
+        events = []
+        store.write("/vm/1/state", "running")
+        store.watch("/vm", lambda path, value: events.append((path, value)))
+        store.delete("/vm/1")
+        assert events == [("/vm/1", None)]
+
+    def test_unwatch(self, store):
+        events = []
+        unwatch = store.watch("/vm", lambda path, value: events.append(path))
+        unwatch()
+        store.write("/vm/1/state", "running")
+        assert events == []
+        unwatch()  # idempotent
+
+    def test_exact_path_watch(self, store):
+        events = []
+        store.watch("/vm/1/state", lambda path, value: events.append(value))
+        store.write("/vm/1/state", "paused")
+        store.write("/vm/1/vcpus", "2")
+        assert events == ["paused"]
+
+
+class TestLifecycleMirror:
+    def test_records_and_reads_state(self, store):
+        mirror = XenstoreLifecycleMirror(store)
+        mirror.record_state("sb-1", "running")
+        assert mirror.state_of("sb-1") == "running"
+
+    def test_known_vms(self, store):
+        mirror = XenstoreLifecycleMirror(store)
+        assert mirror.known_vms() == []
+        mirror.record_state("sb-2", "paused")
+        mirror.record_state("sb-1", "running")
+        assert mirror.known_vms() == ["sb-1", "sb-2"]
+
+    def test_remove(self, store):
+        mirror = XenstoreLifecycleMirror(store)
+        mirror.record_state("sb-1", "running")
+        mirror.remove("sb-1")
+        assert mirror.known_vms() == []
+
+    def test_toolstack_watch_sees_lifecycle(self, store):
+        """The coordination pattern toolstacks use: watch /vm, react to
+        state transitions."""
+        mirror = XenstoreLifecycleMirror(store)
+        transitions = []
+        store.watch("/vm", lambda path, value: transitions.append((path, value)))
+        mirror.record_state("sb-1", "running")
+        mirror.record_state("sb-1", "paused")
+        assert transitions == [
+            ("/vm/sb-1/state", "running"),
+            ("/vm/sb-1/state", "paused"),
+        ]
+
+
+class TestSandboxAttachment:
+    def test_attached_sandbox_mirrors_lifecycle(self, store):
+        from repro.hypervisor.platform import xen_platform
+        from repro.hypervisor.sandbox import Sandbox
+
+        virt = xen_platform()
+        mirror = XenstoreLifecycleMirror(store)
+        sandbox = Sandbox(vcpus=1, memory_mb=128)
+        mirror.attach(sandbox)
+        assert mirror.state_of(sandbox.sandbox_id) == "creating"
+        virt.vanilla.place_initial(sandbox, 0)
+        assert mirror.state_of(sandbox.sandbox_id) == "running"
+        virt.vanilla.pause(sandbox, 0)
+        assert mirror.state_of(sandbox.sandbox_id) == "paused"
+        virt.vanilla.resume(sandbox, 0)
+        assert mirror.state_of(sandbox.sandbox_id) == "running"
+
+    def test_watch_sees_resume_transition_sequence(self, store):
+        from repro.hypervisor.platform import xen_platform
+        from repro.hypervisor.sandbox import Sandbox
+
+        virt = xen_platform()
+        mirror = XenstoreLifecycleMirror(store)
+        sandbox = Sandbox(vcpus=1, memory_mb=128)
+        mirror.attach(sandbox)
+        virt.vanilla.place_initial(sandbox, 0)
+        virt.vanilla.pause(sandbox, 0)
+        states = []
+        store.watch(
+            f"/vm/{sandbox.sandbox_id}/state",
+            lambda path, value: states.append(value),
+        )
+        virt.vanilla.resume(sandbox, 0)
+        assert states == ["resuming", "running"]

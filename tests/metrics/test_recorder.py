@@ -1,0 +1,114 @@
+"""Recorders: series and breakdowns."""
+
+import pytest
+
+from repro.metrics.recorder import Breakdown, BreakdownRecorder, SeriesRecorder
+
+
+class TestSeriesRecorder:
+    def test_record_and_values(self):
+        recorder = SeriesRecorder()
+        recorder.record("lat", 1.0)
+        recorder.record("lat", 2.0)
+        assert recorder.values("lat") == [1.0, 2.0]
+
+    def test_extend(self):
+        recorder = SeriesRecorder()
+        recorder.extend("x", [1, 2, 3])
+        assert recorder.values("x") == [1.0, 2.0, 3.0]
+
+    def test_unknown_series_empty(self):
+        assert SeriesRecorder().values("nope") == []
+
+    def test_summary(self):
+        recorder = SeriesRecorder()
+        recorder.extend("x", [1.0, 3.0])
+        assert recorder.summary("x").mean == 2.0
+
+    def test_summary_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SeriesRecorder().summary("nope")
+
+    def test_names_sorted(self):
+        recorder = SeriesRecorder()
+        recorder.record("b", 1)
+        recorder.record("a", 1)
+        assert recorder.names() == ["a", "b"]
+
+    def test_len_counts_all(self):
+        recorder = SeriesRecorder()
+        recorder.extend("a", [1, 2])
+        recorder.record("b", 3)
+        assert len(recorder) == 3
+
+    def test_clear(self):
+        recorder = SeriesRecorder()
+        recorder.record("a", 1)
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestBreakdown:
+    def test_add_and_total(self):
+        breakdown = Breakdown()
+        breakdown.add("merge", 700)
+        breakdown.add("load", 300)
+        assert breakdown.total_ns == 1000
+
+    def test_add_accumulates_same_phase(self):
+        breakdown = Breakdown()
+        breakdown.add("merge", 100)
+        breakdown.add("merge", 50)
+        assert breakdown.phases["merge"] == 150
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Breakdown().add("x", -1)
+
+    def test_share(self):
+        breakdown = Breakdown()
+        breakdown.add("a", 875)
+        breakdown.add("b", 125)
+        assert breakdown.share("a") == pytest.approx(0.875)
+        assert breakdown.share("missing") == 0.0
+
+    def test_combined_share(self):
+        breakdown = Breakdown()
+        breakdown.add("a", 500)
+        breakdown.add("b", 300)
+        breakdown.add("c", 200)
+        assert breakdown.combined_share(["a", "b"]) == pytest.approx(0.8)
+
+    def test_empty_breakdown_shares_zero(self):
+        assert Breakdown().share("x") == 0.0
+
+
+class TestBreakdownRecorder:
+    def make(self, pairs_list):
+        recorder = BreakdownRecorder()
+        for pairs in pairs_list:
+            breakdown = Breakdown()
+            for phase, ns in pairs:
+                breakdown.add(phase, ns)
+            recorder.record(breakdown)
+        return recorder
+
+    def test_mean_phase_ns(self):
+        recorder = self.make([[("a", 10)], [("a", 30)]])
+        assert recorder.mean_phase_ns() == {"a": 20.0}
+
+    def test_mean_total(self):
+        recorder = self.make([[("a", 10), ("b", 10)], [("a", 20), ("b", 0)]])
+        assert recorder.mean_total_ns() == 20.0
+
+    def test_mean_shares_sum_to_one(self):
+        recorder = self.make([[("a", 70), ("b", 30)], [("a", 60), ("b", 40)]])
+        shares = recorder.mean_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["a"] == pytest.approx(0.65)
+
+    def test_empty_recorder(self):
+        recorder = BreakdownRecorder()
+        assert recorder.mean_phase_ns() == {}
+        assert recorder.mean_total_ns() == 0.0
+        assert len(recorder) == 0

@@ -1,0 +1,36 @@
+"""SimClock: monotonicity and construction."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.errors import SchedulingInPastError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_custom_start(self):
+        assert SimClock(start=500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1)
+
+    def test_advance_forward(self):
+        clock = SimClock()
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(start=10)
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_advance_backwards_raises(self):
+        clock = SimClock(start=100)
+        with pytest.raises(SchedulingInPastError):
+            clock.advance_to(99)
+
+    def test_repr_shows_time(self):
+        assert "42" in repr(SimClock(start=42))

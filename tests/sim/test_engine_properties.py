@@ -1,0 +1,93 @@
+"""Property tests on the event engine: ordering and conservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.event import EventPriority
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),  # time
+                st.sampled_from(list(EventPriority)),         # priority
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_firing_order_is_time_then_priority_then_fifo(self, schedule):
+        engine = Engine()
+        fired = []
+        for sequence, (when, priority) in enumerate(schedule):
+            engine.schedule_at(
+                when,
+                lambda when=when, priority=priority, sequence=sequence: fired.append(
+                    (when, int(priority), sequence)
+                ),
+                priority=priority,
+            )
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(schedule)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1_000), max_size=40),
+        st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=60)
+    def test_run_until_splits_are_equivalent_to_one_run(self, times, split):
+        """Running to `split` then to the horizon fires exactly what a
+        single run to the horizon fires, in the same order."""
+        def run(split_point):
+            engine = Engine()
+            fired = []
+            for when in times:
+                engine.schedule_at(when, lambda when=when: fired.append(when))
+            if split_point is not None:
+                engine.run(until=split_point)
+            engine.run(until=1_001)
+            return fired
+
+        assert run(split) == run(None)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_clock_never_exceeds_last_event_on_unbounded_run(self, times):
+        engine = Engine()
+        for when in times:
+            engine.schedule_at(when, lambda: None)
+        engine.run()
+        assert engine.now == max(times)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=20),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_cancellation_removes_exactly_the_cancelled(self, times, data):
+        engine = Engine()
+        fired = []
+        events = [
+            engine.schedule_at(when, lambda i=i: fired.append(i))
+            for i, when in enumerate(times)
+        ]
+        cancel_set = set()
+        if events:
+            cancel_set = set(
+                data.draw(
+                    st.lists(
+                        st.integers(0, len(events) - 1),
+                        max_size=len(events),
+                        unique=True,
+                    )
+                )
+            )
+        for index in cancel_set:
+            events[index].cancel()
+        engine.run()
+        assert sorted(fired) == sorted(
+            i for i in range(len(events)) if i not in cancel_set
+        )

@@ -1,0 +1,197 @@
+"""Processes: sleep/wait/spawn/join semantics over the engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.errors import ProcessError
+from repro.sim.process import Join, Process, Sleep, Spawn, Wait, Waitable, spawn
+
+
+class TestSleep:
+    def test_sleep_advances_time(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            times.append(engine.now)
+            yield Sleep(100)
+            times.append(engine.now)
+
+        spawn(engine, proc())
+        engine.run()
+        assert times == [0, 100]
+
+    def test_consecutive_sleeps_accumulate(self):
+        engine = Engine()
+
+        def proc():
+            yield Sleep(10)
+            yield Sleep(20)
+            return engine.now
+
+        process = spawn(engine, proc())
+        engine.run()
+        assert process.result == 30
+
+    def test_zero_sleep_is_legal(self):
+        engine = Engine()
+
+        def proc():
+            yield Sleep(0)
+            return "done"
+
+        process = spawn(engine, proc())
+        engine.run()
+        assert process.result == "done"
+
+    def test_negative_sleep_raises(self):
+        engine = Engine()
+
+        def proc():
+            yield Sleep(-5)
+
+        spawn(engine, proc())
+        with pytest.raises(ProcessError):
+            engine.run()
+
+
+class TestWaitables:
+    def test_wait_receives_fired_value(self):
+        engine = Engine()
+        gate = Waitable(engine, "gate")
+        received = []
+
+        def waiter():
+            value = yield Wait(gate)
+            received.append(value)
+
+        spawn(engine, waiter())
+        engine.schedule_at(50, lambda: gate.fire("payload"))
+        engine.run()
+        assert received == ["payload"]
+
+    def test_multiple_waiters_all_wake(self):
+        engine = Engine()
+        gate = Waitable(engine)
+        woken = []
+
+        def waiter(tag):
+            yield Wait(gate)
+            woken.append(tag)
+
+        for tag in ("a", "b", "c"):
+            spawn(engine, waiter(tag))
+        engine.schedule_at(10, lambda: gate.fire())
+        engine.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_fire_count_tracks(self):
+        engine = Engine()
+        gate = Waitable(engine)
+        gate.fire(1)
+        gate.fire(2)
+        assert gate.fire_count == 2
+        assert gate.last_value == 2
+
+
+class TestSpawnJoin:
+    def test_spawn_returns_child_process(self):
+        engine = Engine()
+
+        def child():
+            yield Sleep(5)
+            return 42
+
+        def parent():
+            proc = yield Spawn(child(), label="child")
+            result = yield Join(proc)
+            return result
+
+        process = spawn(engine, parent())
+        engine.run()
+        assert process.result == 42
+
+    def test_join_on_already_done_process(self):
+        engine = Engine()
+
+        def child():
+            return "early"
+            yield  # pragma: no cover
+
+        def parent(child_proc):
+            yield Sleep(100)
+            result = yield Join(child_proc)
+            return result
+
+        child_proc = spawn(engine, child())
+        process = spawn(engine, parent(child_proc))
+        engine.run()
+        assert process.result == "early"
+
+    def test_parallel_children_overlap_in_time(self):
+        engine = Engine()
+
+        def child(delay):
+            yield Sleep(delay)
+            return engine.now
+
+        def parent():
+            first = yield Spawn(child(100))
+            second = yield Spawn(child(100))
+            a = yield Join(first)
+            b = yield Join(second)
+            return (a, b)
+
+        process = spawn(engine, parent())
+        engine.run()
+        # Both children slept concurrently: both end ~t=100, not 200.
+        assert process.result == (100, 100)
+
+
+class TestErrors:
+    def test_double_start_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield Sleep(1)
+
+        process = Process(engine, proc())
+        process.start()
+        with pytest.raises(ProcessError):
+            process.start()
+
+    def test_bad_yield_value_raises(self):
+        engine = Engine()
+
+        def proc():
+            yield "not a command"
+
+        spawn(engine, proc())
+        with pytest.raises(ProcessError):
+            engine.run()
+
+    def test_exception_in_process_propagates_and_marks_error(self):
+        engine = Engine()
+
+        def proc():
+            yield Sleep(1)
+            raise RuntimeError("boom")
+
+        process = spawn(engine, proc())
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert process.done
+        assert isinstance(process.error, RuntimeError)
+
+    def test_completion_waitable_fires_with_result(self):
+        engine = Engine()
+
+        def child():
+            yield Sleep(3)
+            return "value"
+
+        child_proc = spawn(engine, child())
+        results = []
+        child_proc.completion().add_waiter(results.append)
+        engine.run()
+        assert results == ["value"]

@@ -1,0 +1,88 @@
+"""Closed-loop clients built on the process API, driving the FaaS
+platform — integration between repro.sim.process and repro.faas."""
+
+from repro.faas import FaaSPlatform, FunctionSpec, StartType
+from repro.sim.process import Sleep, Wait, Waitable, spawn
+from repro.sim.units import microseconds, seconds
+from repro.workloads import FirewallWorkload
+
+
+def make_platform():
+    faas = FaaSPlatform.build("firecracker", seed=23)
+    faas.register(FunctionSpec("fw", FirewallWorkload()))
+    faas.provision_warm("fw", count=1)
+    return faas
+
+
+class TestClosedLoopClient:
+    def test_sequential_client_issues_back_to_back_requests(self):
+        """A closed-loop client: trigger, wait for completion, think,
+        repeat — the canonical latency-measurement harness."""
+        faas = make_platform()
+        latencies = []
+
+        def client(requests, think_ns):
+            for _ in range(requests):
+                done = Waitable(faas.engine, "done")
+                invocation = faas.trigger("fw", StartType.HORSE)
+                faas.engine.schedule_at(
+                    invocation.exec_end_ns, lambda d=done: d.fire()
+                )
+                yield Wait(done)
+                latencies.append(invocation.total_ns)
+                yield Sleep(think_ns)
+            return len(latencies)
+
+        process = spawn(faas.engine, client(5, microseconds(100)))
+        faas.engine.run(until=seconds(1))
+        assert process.done and process.result == 5
+        assert len(latencies) == 5
+        # Closed loop on one warm sandbox: every request hits the pool.
+        assert faas.pool.misses == 0
+
+    def test_two_clients_share_one_warm_sandbox(self):
+        """With one pooled sandbox and completion-gated clients, the
+        sandbox ping-pongs between clients without a miss."""
+        faas = make_platform()
+        completions = []
+
+        def client(tag):
+            for _ in range(3):
+                done = Waitable(faas.engine, tag)
+                invocation = faas.trigger("fw", StartType.HORSE)
+                faas.engine.schedule_at(
+                    invocation.exec_end_ns, lambda d=done: d.fire()
+                )
+                yield Wait(done)
+                completions.append(tag)
+                # think long enough for the sandbox to be re-pooled
+                yield Sleep(microseconds(500))
+
+        spawn(faas.engine, client("a"))
+        # stagger the second client so triggers never collide
+        faas.engine.schedule_at(
+            microseconds(250),
+            lambda: spawn(faas.engine, client("b")),
+        )
+        faas.engine.run(until=seconds(1))
+        assert sorted(completions) == ["a", "a", "a", "b", "b", "b"]
+        assert faas.pool.misses == 0
+
+    def test_client_observed_latency_matches_invocation(self):
+        faas = make_platform()
+        observed = {}
+
+        def client():
+            start = faas.engine.now
+            done = Waitable(faas.engine)
+            invocation = faas.trigger("fw", StartType.HORSE)
+            faas.engine.schedule_at(
+                invocation.exec_end_ns, lambda: done.fire()
+            )
+            yield Wait(done)
+            observed["client_ns"] = faas.engine.now - start
+            observed["invocation_ns"] = invocation.total_ns
+
+        spawn(faas.engine, client())
+        faas.engine.run(until=seconds(1))
+        assert observed["client_ns"] == observed["invocation_ns"]

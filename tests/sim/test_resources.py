@@ -1,0 +1,115 @@
+"""SimLock / SimSemaphore semantics."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.errors import ResourceError
+from repro.sim.resources import SimLock, SimSemaphore
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestSimLock:
+    def test_try_acquire_free_lock(self, engine):
+        lock = SimLock(engine)
+        assert lock.try_acquire("a") is True
+        assert lock.locked
+        assert lock.owner == "a"
+
+    def test_try_acquire_held_lock_fails(self, engine):
+        lock = SimLock(engine)
+        lock.try_acquire("a")
+        assert lock.try_acquire("b") is False
+        assert lock.owner == "a"
+
+    def test_none_owner_rejected(self, engine):
+        with pytest.raises(ResourceError):
+            SimLock(engine).try_acquire(None)
+
+    def test_release_frees_lock(self, engine):
+        lock = SimLock(engine)
+        lock.try_acquire("a")
+        lock.release("a")
+        assert not lock.locked
+
+    def test_release_unheld_raises(self, engine):
+        with pytest.raises(ResourceError):
+            SimLock(engine).release("a")
+
+    def test_release_by_non_owner_raises(self, engine):
+        lock = SimLock(engine)
+        lock.try_acquire("a")
+        with pytest.raises(ResourceError):
+            lock.release("b")
+
+    def test_acquire_wait_immediate_when_free(self, engine):
+        lock = SimLock(engine)
+        gate = lock.acquire_wait("a")
+        assert lock.owner == "a"
+        assert gate.fire_count == 1
+
+    def test_fifo_handoff_on_release(self, engine):
+        lock = SimLock(engine)
+        lock.try_acquire("a")
+        order = []
+        gate_b = lock.acquire_wait("b")
+        gate_c = lock.acquire_wait("c")
+        gate_b.add_waiter(lambda owner: order.append(owner))
+        gate_c.add_waiter(lambda owner: order.append(owner))
+        lock.release("a")
+        assert lock.owner == "b"
+        lock.release("b")
+        assert lock.owner == "c"
+        engine.run()
+        assert order == ["b", "c"]
+
+    def test_contention_counter(self, engine):
+        lock = SimLock(engine)
+        lock.try_acquire("a")
+        lock.acquire_wait("b")
+        assert lock.contentions == 1
+        assert lock.acquisitions == 1
+
+
+class TestSimSemaphore:
+    def test_initial_permits(self, engine):
+        assert SimSemaphore(engine, 3).available == 3
+
+    def test_negative_permits_rejected(self, engine):
+        with pytest.raises(ResourceError):
+            SimSemaphore(engine, -1)
+
+    def test_try_acquire_decrements(self, engine):
+        sem = SimSemaphore(engine, 2)
+        assert sem.try_acquire()
+        assert sem.available == 1
+
+    def test_try_acquire_exhausted_fails(self, engine):
+        sem = SimSemaphore(engine, 0)
+        assert sem.try_acquire() is False
+
+    def test_release_without_waiters_increments(self, engine):
+        sem = SimSemaphore(engine, 0)
+        sem.release()
+        assert sem.available == 1
+
+    def test_release_wakes_fifo_waiter(self, engine):
+        sem = SimSemaphore(engine, 0)
+        woken = []
+        sem.acquire_wait().add_waiter(lambda _: woken.append("first"))
+        sem.acquire_wait().add_waiter(lambda _: woken.append("second"))
+        sem.release()
+        engine.run()
+        assert woken == ["first"]
+        sem.release()
+        engine.run()
+        assert woken == ["first", "second"]
+
+    def test_acquire_wait_with_permits_fires_immediately(self, engine):
+        sem = SimSemaphore(engine, 1)
+        gate = sem.acquire_wait()
+        assert gate.fire_count == 1
+        assert sem.available == 0

@@ -1,0 +1,105 @@
+"""TraceLog and platform instrumentation."""
+
+import pytest
+
+from repro.sim.tracing import NULL_TRACE, TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_len(self):
+        log = TraceLog()
+        log.record(10, "pool", "acquire", function="fw")
+        assert len(log) == 1
+        event = log.last()
+        assert event.time_ns == 10
+        assert event.details == {"function": "fw"}
+
+    def test_filter_by_subsystem_and_operation(self):
+        log = TraceLog()
+        log.record(1, "pool", "acquire")
+        log.record(2, "gateway", "trigger")
+        log.record(3, "pool", "release")
+        assert [e.operation for e in log.events(subsystem="pool")] == [
+            "acquire", "release",
+        ]
+        assert len(log.events(operation="trigger")) == 1
+
+    def test_filter_since(self):
+        log = TraceLog()
+        log.record(1, "a", "x")
+        log.record(10, "a", "y")
+        assert [e.operation for e in log.events(since_ns=5)] == ["y"]
+
+    def test_operations_sequence(self):
+        log = TraceLog()
+        for operation in ("a", "b", "a"):
+            log.record(0, "s", operation)
+        assert log.operations("s") == ["a", "b", "a"]
+
+    def test_capacity_drops_excess(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.record(i, "s", "op")
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(0, "s", "op")
+        log.clear()
+        assert len(log) == 0
+        assert log.last() is None
+
+    def test_render_tail(self):
+        log = TraceLog()
+        for i in range(60):
+            log.record(i, "s", f"op{i}")
+        text = log.render(limit=10)
+        assert "op59" in text and "earlier events" in text
+
+    def test_event_str(self):
+        event = TraceEvent(5, "pool", "acquire", details={"f": "fw"})
+        assert "pool.acquire" in str(event)
+        assert "f=fw" in str(event)
+
+
+class TestNullTrace:
+    def test_swallows_everything(self):
+        NULL_TRACE.record(0, "s", "op", a=1)
+        assert len(NULL_TRACE) == 0
+        assert not NULL_TRACE.enabled
+
+
+class TestPlatformInstrumentation:
+    def test_gateway_and_pool_emit_events(self):
+        from repro.faas import FaaSPlatform, FunctionSpec, StartType
+        from repro.hypervisor.platform import firecracker_platform
+        from repro.sim.engine import Engine
+        from repro.sim.rng import RngRegistry
+        from repro.sim.units import seconds
+        from repro.workloads import FirewallWorkload
+
+        log = TraceLog()
+        faas = FaaSPlatform(
+            engine=Engine(),
+            virt=firecracker_platform(),
+            rngs=RngRegistry(0),
+            trace=log,
+        )
+        faas.register(FunctionSpec("fw", FirewallWorkload()))
+        faas.provision_warm("fw", count=1)
+        faas.trigger("fw", StartType.HORSE)
+        faas.engine.run(until=seconds(1))
+        assert log.operations("gateway") == ["trigger", "complete"]
+        # provision release, acquire on trigger, release on completion
+        assert log.operations("pool") == ["release", "acquire", "release"]
+
+    def test_default_platform_traces_nothing(self):
+        from repro.faas import FaaSPlatform
+
+        faas = FaaSPlatform.build("firecracker")
+        assert not faas.trace.enabled

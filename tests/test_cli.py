@@ -1,0 +1,54 @@
+"""CLI surface: commands parse, run, and print sane output."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(["report", "--fast", "--seed", "3"])
+        assert args.fast and args.seed == 3
+
+    def test_experiment_name(self):
+        args = build_parser().parse_args(["experiment", "figure3"])
+        assert args.name == "figure3"
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo_shows_four_paths(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        for start in ("cold", "restore", "warm", "horse"):
+            assert start in out
+
+    @pytest.mark.parametrize("name", ["table1", "figure1", "figure2", "figure3"])
+    def test_experiment_commands_run_fast(self, capsys, name):
+        assert main(["experiment", name, "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert EXPERIMENTS[name].split(" — ")[0] in out
+
+    def test_overhead_command(self, capsys):
+        assert main(["experiment", "overhead", "--fast"]) == 0
+        assert "mem delta" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--fast", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# HORSE reproduction" in text
+        assert "Figure 3" in text

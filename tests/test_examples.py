@@ -1,0 +1,40 @@
+"""Examples gate: every shipped example runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesInventory:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLES) >= 3
+
+    def test_quickstart_exists(self):
+        assert EXAMPLES_DIR / "quickstart.py" in EXAMPLES
+
+    def test_every_example_has_a_docstring_and_main(self):
+        for path in EXAMPLES:
+            text = path.read_text()
+            assert '"""' in text.split("\n\n")[0] or text.startswith(
+                "#!"
+            ), f"{path.name}: missing header docstring"
+            assert 'if __name__ == "__main__":' in text, path.name
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"

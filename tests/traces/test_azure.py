@@ -1,0 +1,106 @@
+"""Azure-like trace synthesis: structure and statistics."""
+
+import random
+
+import pytest
+
+from repro.sim.units import SECOND
+from repro.traces.azure import AzureTraceConfig, synthesize_trace
+
+
+def make_trace(seed=0, **overrides):
+    defaults = dict(functions=20, duration_s=30.0, mean_rate_per_function=1.0)
+    defaults.update(overrides)
+    return synthesize_trace(AzureTraceConfig(**defaults), random.Random(seed))
+
+
+class TestConfig:
+    def test_bad_function_count(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(functions=0)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(duration_s=0)
+
+    def test_bad_burst_fraction(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(burst_on_fraction=0.0)
+
+
+class TestStructure:
+    def test_function_count(self):
+        trace = make_trace()
+        assert len(trace.function_names()) == 20
+
+    def test_timestamps_within_duration(self):
+        trace = make_trace()
+        horizon = 30 * SECOND
+        for timestamps in trace.invocations.values():
+            assert all(0 <= t < horizon + SECOND for t in timestamps)
+
+    def test_timestamps_sorted(self):
+        trace = make_trace()
+        for timestamps in trace.invocations.values():
+            assert timestamps == sorted(timestamps)
+
+    def test_merged_timestamps_sorted_and_complete(self):
+        trace = make_trace()
+        merged = trace.merged_timestamps()
+        assert merged == sorted(merged)
+        assert len(merged) == trace.total_invocations
+
+    def test_deterministic_given_seed(self):
+        assert make_trace(seed=5).invocations == make_trace(seed=5).invocations
+
+    def test_different_seeds_differ(self):
+        assert make_trace(seed=1).invocations != make_trace(seed=2).invocations
+
+    def test_timestamps_for_returns_arrival_process(self):
+        trace = make_trace()
+        name = trace.function_names()[0]
+        process = trace.timestamps_for(name)
+        assert len(process) == len(trace.invocations[name])
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            make_trace().timestamps_for("ghost")
+
+
+class TestStatistics:
+    def test_total_rate_near_configured_mean(self):
+        trace = make_trace(seed=3, functions=40, duration_s=60.0)
+        total_rate = trace.total_invocations / 60.0
+        # 40 functions at ~1/s mean
+        assert total_rate == pytest.approx(40.0, rel=0.5)
+
+    def test_rates_are_heavy_tailed(self):
+        """A few functions should dominate: top-10% of functions carry
+        far more than 10% of invocations (Pareto-tailed rates)."""
+        trace = make_trace(seed=4, functions=50, duration_s=120.0)
+        counts = sorted(
+            (len(ts) for ts in trace.invocations.values()), reverse=True
+        )
+        top5 = sum(counts[:5])
+        total = sum(counts)
+        assert total > 0
+        assert top5 / total > 0.25
+
+    def test_rate_per_second_helper(self):
+        trace = make_trace(seed=0)
+        name = trace.function_names()[0]
+        expected = len(trace.invocations[name]) / 30.0
+        assert trace.rate_per_second(name) == pytest.approx(expected)
+
+    def test_bursty_interarrivals(self):
+        """The MMPP construction should produce inter-arrival CV > 1
+        (the Azure dataset's signature burstiness)."""
+        trace = make_trace(seed=6, functions=1, mean_rate_per_function=20.0,
+                           duration_s=120.0)
+        timestamps = trace.invocations[trace.function_names()[0]]
+        assert len(timestamps) > 100
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        var = sum((g - mean_gap) ** 2 for g in gaps) / (len(gaps) - 1)
+        cv = var ** 0.5 / mean_gap
+        assert cv > 1.0

@@ -1,0 +1,108 @@
+"""Trace characterization statistics."""
+
+import random
+
+import pytest
+
+from repro.sim.units import SECOND
+from repro.traces.azure import AzureTraceConfig, synthesize_trace
+from repro.traces.stats import (
+    burstiness_index,
+    gini_coefficient,
+    interarrival_cv,
+    interarrival_gaps,
+    profile_trace,
+    top_k_share,
+)
+
+
+class TestInterarrival:
+    def test_gaps(self):
+        assert interarrival_gaps([30, 10, 20]) == [10, 10]
+
+    def test_regular_arrivals_cv_zero(self):
+        timestamps = list(range(0, 1000, 100))
+        assert interarrival_cv(timestamps) == pytest.approx(0.0)
+
+    def test_poisson_cv_near_one(self):
+        rng = random.Random(0)
+        now = 0.0
+        timestamps = []
+        for _ in range(5000):
+            now += rng.expovariate(1.0)
+            timestamps.append(round(now * 1e6))
+        assert interarrival_cv(timestamps) == pytest.approx(1.0, abs=0.05)
+
+    def test_too_few_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            interarrival_cv([1, 2])
+
+    def test_burstiness_zero_for_poisson_like(self):
+        rng = random.Random(1)
+        now = 0.0
+        timestamps = []
+        for _ in range(5000):
+            now += rng.expovariate(1.0)
+            timestamps.append(round(now * 1e6))
+        assert burstiness_index(timestamps) == pytest.approx(0.0, abs=0.05)
+
+    def test_burstiness_negative_for_regular(self):
+        assert burstiness_index(list(range(0, 1000, 10))) == pytest.approx(-1.0)
+
+
+class TestTailMeasures:
+    def test_top_k_share(self):
+        counts = {"a": 90, "b": 5, "c": 5}
+        assert top_k_share(counts, 1) == pytest.approx(0.9)
+        assert top_k_share(counts, 3) == pytest.approx(1.0)
+
+    def test_top_k_empty_counts(self):
+        assert top_k_share({"a": 0}, 1) == 0.0
+
+    def test_top_k_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_share({"a": 1}, 0)
+
+    def test_gini_equal_shares_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_total_concentration(self):
+        # one holder of everything among many: -> 1 as n grows
+        assert gini_coefficient([0] * 99 + [100]) == pytest.approx(0.99, abs=0.01)
+
+    def test_gini_known_value(self):
+        # [1, 3]: mean abs diff = 2, mean = 2 -> G = 2/(2*2*... ) = 0.25
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 1])
+
+    def test_gini_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+
+class TestProfile:
+    def test_synthesized_trace_matches_dataset_structure(self):
+        """The synthesizer's whole point: bursty (B > 0) and
+        heavy-tailed (top 10 % of functions carry >> 10 %)."""
+        trace = synthesize_trace(
+            AzureTraceConfig(
+                functions=40, duration_s=120.0, mean_rate_per_function=1.0
+            ),
+            random.Random(7),
+        )
+        profile = profile_trace(trace.invocations)
+        assert profile.functions == 40
+        assert profile.merged_burstiness > 0.0
+        assert profile.top_10pct_share > 0.2
+        assert profile.rate_gini > 0.3
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace({})
+
+    def test_sparse_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace({"f": [1]})

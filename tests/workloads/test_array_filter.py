@@ -1,0 +1,64 @@
+"""Array-filter workload (Category 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.units import nanoseconds
+from repro.workloads.array_filter import ARRAY_SIZE, ArrayFilterWorkload, FilterRequest
+from repro.workloads.base import WorkloadCategory
+
+
+class TestSemantics:
+    def test_returns_indexes_above_threshold(self):
+        workload = ArrayFilterWorkload()
+        request = FilterRequest(values=[1, 5, 3, 10], threshold=3)
+        assert workload.execute(request) == [1, 3]
+
+    def test_strictly_greater(self):
+        workload = ArrayFilterWorkload()
+        assert workload.execute(FilterRequest(values=[3, 3], threshold=3)) == []
+
+    def test_empty_array(self):
+        assert ArrayFilterWorkload().execute(FilterRequest([], 0)) == []
+
+    def test_all_match(self):
+        workload = ArrayFilterWorkload()
+        assert workload.execute(FilterRequest([5, 6], 0)) == [0, 1]
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(TypeError):
+            ArrayFilterWorkload().execute([1, 2, 3])
+
+    @given(
+        st.lists(st.integers(-1000, 1000), max_size=200),
+        st.integers(-1000, 1000),
+    )
+    @settings(max_examples=60)
+    def test_matches_reference_filter(self, values, threshold):
+        result = ArrayFilterWorkload().execute(FilterRequest(values, threshold))
+        assert result == [i for i, v in enumerate(values) if v > threshold]
+        # indexes strictly ascending
+        assert all(a < b for a, b in zip(result, result[1:]))
+
+
+class TestEnvelope:
+    def test_category_3(self):
+        assert ArrayFilterWorkload().category is WorkloadCategory.CATEGORY_3
+
+    def test_mean_duration_near_700ns(self):
+        workload = ArrayFilterWorkload()
+        rng = random.Random(6)
+        samples = [workload.sample_duration_ns(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            nanoseconds(700), rel=0.06
+        )
+
+    def test_example_payload_uses_3000_element_array(self):
+        """The paper specifies 3000 integers."""
+        workload = ArrayFilterWorkload()
+        payload = workload.example_payload(random.Random(7))
+        assert len(payload.values) == ARRAY_SIZE == 3000
+        workload.execute(payload)

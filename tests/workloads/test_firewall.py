@@ -1,0 +1,79 @@
+"""Firewall workload: real allow-list semantics + duration envelope."""
+
+import random
+
+import pytest
+
+from repro.sim.units import microseconds
+from repro.workloads.base import WorkloadCategory
+from repro.workloads.firewall import FirewallWorkload, RequestHeader
+
+
+class TestRequestHeader:
+    def test_valid_header(self):
+        header = RequestHeader(src_ip="10.0.0.5", dst_ip="1.2.3.4", dst_port=443)
+        assert header.dst_port == 443
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            RequestHeader(src_ip="10.0.0.5", dst_ip="1.2.3.4", dst_port=70000)
+
+
+class TestDecision:
+    def test_allows_listed_subnet_and_port(self):
+        firewall = FirewallWorkload()
+        header = RequestHeader(src_ip="10.0.0.42", dst_ip="x", dst_port=443)
+        decision = firewall.execute(header)
+        assert decision.allowed
+        assert "10.0.0/24" in decision.rule
+
+    def test_denies_unlisted_port(self):
+        firewall = FirewallWorkload()
+        header = RequestHeader(src_ip="10.0.0.42", dst_ip="x", dst_port=23)
+        decision = firewall.execute(header)
+        assert not decision.allowed
+        assert decision.rule == "default-deny"
+
+    def test_denies_unlisted_subnet(self):
+        firewall = FirewallWorkload()
+        header = RequestHeader(src_ip="8.8.8.8", dst_ip="x", dst_port=443)
+        assert not firewall.execute(header).allowed
+
+    def test_custom_allow_list(self):
+        firewall = FirewallWorkload(allow_list=[("1.2.3", 80)])
+        assert firewall.execute(
+            RequestHeader(src_ip="1.2.3.9", dst_ip="x", dst_port=80)
+        ).allowed
+        assert not firewall.execute(
+            RequestHeader(src_ip="10.0.0.9", dst_ip="x", dst_port=443)
+        ).allowed
+
+    def test_wrong_payload_type_rejected(self):
+        with pytest.raises(TypeError):
+            FirewallWorkload().execute("not a header")
+
+
+class TestEnvelope:
+    def test_category_1(self):
+        assert FirewallWorkload().category is WorkloadCategory.CATEGORY_1
+        assert FirewallWorkload().is_ull
+
+    def test_durations_at_most_20us(self):
+        firewall = FirewallWorkload()
+        rng = random.Random(1)
+        for _ in range(200):
+            assert firewall.sample_duration_ns(rng) <= microseconds(20)
+
+    def test_mean_duration_near_17us(self):
+        firewall = FirewallWorkload()
+        rng = random.Random(2)
+        samples = [firewall.sample_duration_ns(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            microseconds(17), rel=0.05
+        )
+
+    def test_example_payloads_execute(self):
+        firewall = FirewallWorkload()
+        rng = random.Random(3)
+        for _ in range(50):
+            firewall.execute(firewall.example_payload(rng))

@@ -1,0 +1,72 @@
+"""ML-inference workload: real MLP forward pass + envelope."""
+
+import random
+
+import pytest
+
+from repro.sim.units import microseconds
+from repro.workloads.base import WorkloadCategory
+from repro.workloads.ml_inference import (
+    INPUT_FEATURES,
+    InferenceRequest,
+    MlInferenceWorkload,
+)
+
+
+class TestRequestValidation:
+    def test_valid_request(self):
+        request = InferenceRequest(features=(0.0,) * INPUT_FEATURES)
+        assert len(request.features) == 8
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(features=(0.0, 1.0))
+
+
+class TestInference:
+    def test_score_is_probability(self):
+        workload = MlInferenceWorkload()
+        rng = random.Random(0)
+        for _ in range(100):
+            result = workload.execute(workload.example_payload(rng))
+            assert 0.0 <= result.score <= 1.0
+
+    def test_deterministic_model(self):
+        request = InferenceRequest(features=(1.0, -1.0, 0.5, 0.0, 2.0, -2.0, 0.1, 0.9))
+        a = MlInferenceWorkload(model_seed=7).execute(request)
+        b = MlInferenceWorkload(model_seed=7).execute(request)
+        assert a.score == b.score
+
+    def test_different_models_differ(self):
+        request = InferenceRequest(features=(1.0,) * INPUT_FEATURES)
+        a = MlInferenceWorkload(model_seed=1).execute(request)
+        b = MlInferenceWorkload(model_seed=2).execute(request)
+        assert a.score != b.score
+
+    def test_flag_follows_threshold(self):
+        workload = MlInferenceWorkload(threshold=0.0)
+        request = workload.example_payload(random.Random(1))
+        assert workload.execute(request).flagged  # every score >= 0
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(TypeError):
+            MlInferenceWorkload().execute([1.0] * 8)
+
+    def test_relu_hidden_layer(self):
+        """Zero input -> hidden = ReLU(bias); output depends only on
+        positive biases."""
+        workload = MlInferenceWorkload(model_seed=3)
+        result = workload.execute(InferenceRequest(features=(0.0,) * 8))
+        assert 0.0 <= result.score <= 1.0
+
+
+class TestEnvelope:
+    def test_category_1_envelope(self):
+        workload = MlInferenceWorkload()
+        assert workload.category is WorkloadCategory.CATEGORY_1
+        rng = random.Random(2)
+        samples = [workload.sample_duration_ns(rng) for _ in range(500)]
+        assert max(samples) <= microseconds(20)
+        assert sum(samples) / len(samples) == pytest.approx(
+            microseconds(12), rel=0.08
+        )

@@ -1,0 +1,67 @@
+"""NAT workload: rewrite semantics + duration envelope."""
+
+import random
+
+import pytest
+
+from repro.sim.units import nanoseconds
+from repro.workloads.base import WorkloadCategory
+from repro.workloads.firewall import RequestHeader
+from repro.workloads.nat import NatError, NatRule, NatWorkload
+
+
+class TestRules:
+    def test_rewrites_matching_header(self):
+        nat = NatWorkload()
+        header = RequestHeader(
+            src_ip="203.0.113.5", dst_ip="198.51.100.10", dst_port=80
+        )
+        rewritten = nat.execute(header)
+        assert rewritten.dst_ip == "10.0.0.10"
+        assert rewritten.dst_port == 8080
+        assert rewritten.src_ip == header.src_ip  # untouched
+
+    def test_original_header_not_mutated(self):
+        nat = NatWorkload()
+        header = RequestHeader(
+            src_ip="203.0.113.5", dst_ip="198.51.100.10", dst_port=80
+        )
+        nat.execute(header)
+        assert header.dst_ip == "198.51.100.10"
+
+    def test_unmatched_header_raises(self):
+        nat = NatWorkload()
+        with pytest.raises(NatError):
+            nat.execute(RequestHeader(src_ip="1.1.1.1", dst_ip="9.9.9.9", dst_port=1))
+
+    def test_custom_rules(self):
+        nat = NatWorkload(rules={("2.2.2.2", 443): NatRule("10.1.1.1", 4430)})
+        out = nat.execute(RequestHeader(src_ip="x", dst_ip="2.2.2.2", dst_port=443))
+        assert (out.dst_ip, out.dst_port) == ("10.1.1.1", 4430)
+
+    def test_bad_rule_port_rejected(self):
+        with pytest.raises(ValueError):
+            NatRule("10.0.0.1", -1)
+
+    def test_wrong_payload_type_rejected(self):
+        with pytest.raises(TypeError):
+            NatWorkload().execute(42)
+
+
+class TestEnvelope:
+    def test_category_2(self):
+        assert NatWorkload().category is WorkloadCategory.CATEGORY_2
+
+    def test_mean_duration_near_1_5us(self):
+        nat = NatWorkload()
+        rng = random.Random(4)
+        samples = [nat.sample_duration_ns(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            nanoseconds(1500), rel=0.05
+        )
+
+    def test_example_payloads_always_match_a_rule(self):
+        nat = NatWorkload()
+        rng = random.Random(5)
+        for _ in range(50):
+            nat.execute(nat.example_payload(rng))

@@ -1,0 +1,100 @@
+"""Finance order-risk workload."""
+
+import random
+
+import pytest
+
+from repro.workloads.base import WorkloadCategory
+from repro.workloads.orderbook import (
+    MarketState,
+    Order,
+    OrderRiskWorkload,
+    RiskVerdict,
+    Side,
+)
+
+
+def make_order(symbol="ACME", price=100.0, quantity=10, side=Side.BUY):
+    return Order(symbol=symbol, side=side, price=price, quantity=quantity)
+
+
+class TestOrderValidation:
+    def test_valid_order(self):
+        order = make_order()
+        assert order.notional == 1000.0
+
+    def test_nonpositive_price_rejected(self):
+        with pytest.raises(ValueError):
+            make_order(price=0.0)
+
+    def test_nonpositive_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            make_order(quantity=0)
+
+
+class TestRiskChecks:
+    def test_accepts_order_inside_all_limits(self):
+        decision = OrderRiskWorkload().execute(make_order())
+        assert decision.accepted
+        assert decision.verdict is RiskVerdict.ACCEPT
+
+    def test_rejects_unknown_symbol(self):
+        decision = OrderRiskWorkload().execute(make_order(symbol="GHOST"))
+        assert decision.verdict is RiskVerdict.REJECT_UNKNOWN_SYMBOL
+
+    def test_rejects_price_above_band(self):
+        decision = OrderRiskWorkload().execute(make_order(price=106.0))
+        assert decision.verdict is RiskVerdict.REJECT_PRICE_BAND
+
+    def test_rejects_price_below_band(self):
+        decision = OrderRiskWorkload().execute(make_order(price=94.0))
+        assert decision.verdict is RiskVerdict.REJECT_PRICE_BAND
+
+    def test_band_edges_accepted(self):
+        workload = OrderRiskWorkload()
+        assert workload.execute(make_order(price=95.0)).accepted
+        assert workload.execute(make_order(price=105.0)).accepted
+
+    def test_rejects_oversized_quantity(self):
+        decision = OrderRiskWorkload().execute(make_order(quantity=10_001))
+        assert decision.verdict is RiskVerdict.REJECT_MAX_QUANTITY
+
+    def test_rejects_notional_over_cap(self):
+        # 10_000 shares at 101 = 1.01M > 1M cap (quantity itself is legal).
+        decision = OrderRiskWorkload().execute(
+            make_order(price=101.0, quantity=10_000)
+        )
+        assert decision.verdict is RiskVerdict.REJECT_NOTIONAL_CAP
+
+    def test_custom_market(self):
+        market = MarketState(mid_prices={"XYZ": 10.0})
+        workload = OrderRiskWorkload(market=market)
+        assert workload.execute(make_order(symbol="XYZ", price=10.1)).accepted
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(TypeError):
+            OrderRiskWorkload().execute("order")
+
+    def test_bad_band_rejected(self):
+        with pytest.raises(ValueError):
+            OrderRiskWorkload(price_band=1.5)
+
+
+class TestEnvelope:
+    def test_category_2(self):
+        assert OrderRiskWorkload().category is WorkloadCategory.CATEGORY_2
+
+    def test_mean_duration_near_1_8us(self):
+        workload = OrderRiskWorkload()
+        rng = random.Random(3)
+        samples = [workload.sample_duration_ns(rng) for _ in range(1000)]
+        assert sum(samples) / len(samples) == pytest.approx(1800, rel=0.06)
+
+    def test_example_payloads_execute(self):
+        workload = OrderRiskWorkload()
+        rng = random.Random(4)
+        verdicts = {workload.execute(workload.example_payload(rng)).verdict
+                    for _ in range(200)}
+        # the generator should produce both accepts and band rejects
+        assert RiskVerdict.ACCEPT in verdicts
+        assert RiskVerdict.REJECT_PRICE_BAND in verdicts

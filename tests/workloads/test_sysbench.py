@@ -1,0 +1,52 @@
+"""sysbench-style CPU workload."""
+
+import random
+
+import pytest
+
+from repro.workloads.base import WorkloadCategory
+from repro.workloads.sysbench import (
+    PrimeRequest,
+    SysbenchCpuWorkload,
+    primes_up_to,
+)
+
+
+class TestPrimeKernel:
+    def test_known_primes(self):
+        assert primes_up_to(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_limit_below_two(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(0) == []
+
+    def test_limit_is_inclusive(self):
+        assert primes_up_to(13)[-1] == 13
+
+    def test_prime_count_up_to_1000(self):
+        assert len(primes_up_to(1000)) == 168  # classic pi(1000)
+
+
+class TestWorkload:
+    def test_execute_counts_primes(self):
+        workload = SysbenchCpuWorkload()
+        assert workload.execute(PrimeRequest(limit=100)) == 25
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(TypeError):
+            SysbenchCpuWorkload().execute(100)
+
+    def test_background_category(self):
+        workload = SysbenchCpuWorkload()
+        assert workload.category is WorkloadCategory.BACKGROUND
+        assert not workload.is_ull
+
+    def test_example_payload_executes(self):
+        workload = SysbenchCpuWorkload()
+        result = workload.execute(workload.example_payload(random.Random(0)))
+        assert result > 0
+
+    def test_durations_positive(self):
+        workload = SysbenchCpuWorkload()
+        rng = random.Random(1)
+        assert all(workload.sample_duration_ns(rng) > 0 for _ in range(100))

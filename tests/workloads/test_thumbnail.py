@@ -1,0 +1,116 @@
+"""Thumbnail workload: real downscaling over the object store."""
+
+import random
+
+import pytest
+
+from repro.sim.units import seconds
+from repro.workloads.base import WorkloadCategory
+from repro.workloads.thumbnail import (
+    Image,
+    ObjectStore,
+    ThumbnailRequest,
+    ThumbnailWorkload,
+)
+
+
+def checkerboard(width, height):
+    return Image(
+        width=width,
+        height=height,
+        pixels=tuple((x + y) % 2 * 255 for y in range(height) for x in range(width)),
+    )
+
+
+class TestImage:
+    def test_valid_image(self):
+        image = checkerboard(4, 2)
+        assert image.at(0, 0) == 0
+        assert image.at(1, 0) == 255
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Image(width=0, height=2, pixels=())
+
+    def test_mismatched_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Image(width=2, height=2, pixels=(1, 2, 3))
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self):
+        store = ObjectStore()
+        image = checkerboard(2, 2)
+        store.put("k", image)
+        assert store.get("k") is image
+        assert "k" in store
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            ObjectStore().get("nope")
+
+    def test_keys_sorted(self):
+        store = ObjectStore()
+        store.put("b", checkerboard(1, 1))
+        store.put("a", checkerboard(1, 1))
+        assert store.keys() == ["a", "b"]
+
+
+class TestThumbnailing:
+    def test_downscale_dimensions(self):
+        workload = ThumbnailWorkload()
+        workload.store.put("src", checkerboard(64, 64))
+        thumb = workload.execute(ThumbnailRequest("src", "dst", 8, 8))
+        assert (thumb.width, thumb.height) == (8, 8)
+        assert len(thumb.pixels) == 64
+
+    def test_result_stored_under_target_key(self):
+        workload = ThumbnailWorkload()
+        workload.store.put("src", checkerboard(16, 16))
+        workload.execute(ThumbnailRequest("src", "thumbs/out", 4, 4))
+        assert "thumbs/out" in workload.store
+
+    def test_uniform_image_stays_uniform(self):
+        workload = ThumbnailWorkload()
+        workload.store.put(
+            "grey", Image(width=10, height=10, pixels=(128,) * 100)
+        )
+        thumb = workload.execute(ThumbnailRequest("grey", "t", 3, 3))
+        assert set(thumb.pixels) == {128}
+
+    def test_identity_scale_preserves_pixels(self):
+        workload = ThumbnailWorkload()
+        source = checkerboard(6, 6)
+        workload.store.put("src", source)
+        thumb = workload.execute(ThumbnailRequest("src", "t", 6, 6))
+        assert thumb.pixels == source.pixels
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            ThumbnailWorkload().execute(ThumbnailRequest("ghost", "t", 2, 2))
+
+    def test_bad_target_dimensions_rejected(self):
+        workload = ThumbnailWorkload()
+        workload.store.put("src", checkerboard(4, 4))
+        with pytest.raises(ValueError):
+            workload.execute(ThumbnailRequest("src", "t", 0, 4))
+
+
+class TestEnvelope:
+    def test_long_running_category(self):
+        workload = ThumbnailWorkload()
+        assert workload.category is WorkloadCategory.LONG_RUNNING
+        assert not workload.is_ull
+
+    def test_durations_exceed_1s_on_average(self):
+        """Paper §5.4 targets the >1 s function class."""
+        workload = ThumbnailWorkload()
+        rng = random.Random(8)
+        samples = [workload.sample_duration_ns(rng) for _ in range(500)]
+        assert sum(samples) / len(samples) > seconds(1)
+
+    def test_example_payload_executes(self):
+        workload = ThumbnailWorkload()
+        rng = random.Random(9)
+        thumb = workload.execute(workload.example_payload(rng))
+        assert (thumb.width, thumb.height) == (32, 32)
