@@ -1,0 +1,104 @@
+"""Bench OBS — observability must be free when switched off.
+
+The instrumentation's contract is that an untraced run (the default
+``NULL_OBS`` bundle) pays exactly one ``obs.enabled`` attribute check
+per instrumented operation.  This benchmark verifies the guard budget
+on a Figure-1-style run: the measured per-check cost, multiplied by the
+number of guard evaluations the run performs, must stay under 2 % of
+the run's untraced wall time.
+
+The number of guard evaluations is counted by running the same
+workload once with an *enabled* bundle and summing every recorded
+event — each recorded span/instant/metric update corresponds to one
+taken guard in the untraced run, so the sum upper-bounds the guards
+that can do work.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.table1 import run_table1
+from repro.obs import MetricRegistry, Observability, Tracer, activate
+from repro.obs.context import NULL_OBS
+
+
+def _measure_guard_cost_ns(iterations: int = 2_000_000) -> float:
+    """Per-iteration cost of the NULL fast-path guard, in ns."""
+    obs = NULL_OBS
+    taken = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if obs.enabled:
+            taken += 1  # pragma: no cover - NULL bundle is disabled
+    elapsed = time.perf_counter() - start
+
+    # Subtract the bare-loop baseline so only the guard itself counts.
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    baseline = time.perf_counter() - start
+    assert taken == 0
+    return max(0.0, (elapsed - baseline) / iterations * 1e9)
+
+
+def _count_obs_events() -> int:
+    """Observability events on one fast Figure-1-style run."""
+    obs = Observability(Tracer(), MetricRegistry())
+    with activate(obs):
+        run_table1(repetitions=3, seed=0)
+    counters = sum(c.value for c in obs.metrics.counters().values())
+    histograms = sum(h.count for h in obs.metrics.histograms().values())
+    return len(obs.tracer.spans) + counters + histograms
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_null_obs_guard_overhead_under_2pct(once):
+    once(run_table1, repetitions=3, seed=0)
+    # pytest-benchmark keeps its own stats; re-time directly so the
+    # budget math below uses a plain float.
+    start = time.perf_counter()
+    run_table1(repetitions=3, seed=0)
+    null_seconds = time.perf_counter() - start
+
+    guard_ns = _measure_guard_cost_ns()
+    events = _count_obs_events()
+    guard_total_s = events * guard_ns / 1e9
+    share = guard_total_s / null_seconds
+    emit(
+        "Observability NULL-path overhead",
+        f"untraced run      {null_seconds * 1e3:8.1f} ms\n"
+        f"guard cost        {guard_ns:8.2f} ns/check\n"
+        f"guard sites hit   {events:8d}\n"
+        f"guard budget      {guard_total_s * 1e3:8.3f} ms "
+        f"({share * 100:.3f} % of run)",
+    )
+    assert share < 0.02, (
+        f"NULL-tracer guard budget is {share * 100:.2f} % of the untraced "
+        f"run (limit 2 %)"
+    )
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_enabled_obs_overhead_reported(once):
+    """Informative: full tracing cost on the same run (no assertion —
+    enabled tracing is opt-in and allowed to cost)."""
+    start = time.perf_counter()
+    run_table1(repetitions=3, seed=0)
+    null_seconds = time.perf_counter() - start
+
+    obs = Observability(Tracer(), MetricRegistry())
+    start = time.perf_counter()
+    with activate(obs):
+        once(run_table1, repetitions=3, seed=0)
+    enabled_seconds = time.perf_counter() - start
+
+    emit(
+        "Observability enabled-path cost",
+        f"untraced {null_seconds * 1e3:.1f} ms, "
+        f"traced {enabled_seconds * 1e3:.1f} ms "
+        f"({len(obs.tracer.spans)} spans)",
+    )

@@ -4,6 +4,8 @@ Commands:
 
 * ``report``       — run the full evaluation, print/write Markdown;
 * ``experiment``   — run one paper artifact and print its table/series;
+* ``trace``        — run one artifact under the observability layer and
+  export Perfetto-loadable Chrome JSON + lossless JSONL traces;
 * ``demo``         — the quickstart comparison of the four start paths;
 * ``list``         — list the available experiment ids.
 """
@@ -114,6 +116,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment instrumented and export its traces.
+
+    The experiment drivers are untouched: platforms built inside the
+    ``activate`` block pick the bundle up from the active observability
+    context, so any experiment id traces without modification.
+    """
+    import os
+
+    from repro.obs import (
+        MetricRegistry,
+        Observability,
+        Tracer,
+        activate,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.name!r}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    obs = Observability(Tracer(), MetricRegistry())
+    with activate(obs):
+        rendered = _run_experiment(
+            args.name, fast=args.fast, seed=args.seed, platform=args.platform
+        )
+    os.makedirs(args.out_dir, exist_ok=True)
+    chrome_path = os.path.join(args.out_dir, f"{args.name}.trace.json")
+    jsonl_path = os.path.join(args.out_dir, f"{args.name}.trace.jsonl")
+    write_chrome_trace(obs.tracer, chrome_path)
+    write_jsonl(obs.tracer, jsonl_path)
+    print(rendered)
+    print()
+    print(f"== metrics ({len(obs.tracer)} spans) ==")
+    print(obs.metrics.render())
+    print()
+    print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+    print(f"wrote {jsonl_path}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, description in sorted(EXPERIMENTS.items()):
         print(f"{name:12s} {description}")
@@ -166,6 +213,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="hypervisor model (the paper evaluated both)",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    trace = subparsers.add_parser(
+        "trace", help="run one artifact traced; export Chrome JSON + JSONL"
+    )
+    trace.add_argument("name", help=", ".join(sorted(EXPERIMENTS)))
+    trace.add_argument("--fast", action="store_true")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--platform", choices=("firecracker", "xen"), default="firecracker",
+        help="hypervisor model (the paper evaluated both)",
+    )
+    trace.add_argument(
+        "--out-dir", type=str, default="traces",
+        help="directory for <name>.trace.json / <name>.trace.jsonl",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     lister = subparsers.add_parser("list", help="list experiment ids")
     lister.set_defaults(func=_cmd_list)

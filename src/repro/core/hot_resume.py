@@ -51,6 +51,8 @@ from repro.hypervisor.pause_resume import (
 from repro.hypervisor.sandbox import Sandbox, SandboxState
 from repro.hypervisor.scheduler.base import SchedulerPolicy
 from repro.metrics.recorder import Breakdown
+from repro.obs.context import Observability, current as current_obs
+from repro.obs.phases import observe_resume
 
 
 @dataclass(frozen=True)
@@ -100,11 +102,15 @@ class HorsePauseResume:
         costs: CostModel,
         ull_manager: Optional[UllRunqueueManager] = None,
         config: HorseConfig = HorseConfig.full(),
+        obs: Optional[Observability] = None,
     ) -> None:
         self.host = host
         self.policy = policy
         self.costs = costs
         self.config = config
+        # Defaults to the active observability context so drivers that
+        # construct the fast path directly trace without plumbing.
+        self.obs = obs if obs is not None else current_obs()
         self.ull = ull_manager or UllRunqueueManager(host)
         self.resumes = 0
         self.pauses = 0
@@ -141,37 +147,100 @@ class HorsePauseResume:
             self.ull.on_queue_updated(queue_id)
         sandbox.transition(SandboxState.PAUSED)
 
+        dequeue_ns = duration
+
         # Build merge_vcpus: the sandbox's vCPUs, pre-sorted once by the
         # scheduler key so resume never iterates them again.
         for vcpu in sandbox.vcpus:
             self.policy.on_enqueue(vcpu)
         sandbox.merge_vcpus = sorted(sandbox.vcpus, key=self.policy.sort_key)
-        duration += self.costs.horse_pause_sort_vcpu_ns * sandbox.vcpu_count
+        sort_ns = self.costs.horse_pause_sort_vcpu_ns * sandbox.vcpu_count
+        duration += sort_ns
 
         # Tie to a reserved queue and precompute P2SM structures.
         queue = self.ull.assign(sandbox)
         precompute_entries = 0
+        p2sm_ns = 0.0
         if self.config.enable_p2sm:
             sandbox.p2sm_state = P2SMState(sandbox.merge_vcpus, queue.entities)
             report = sandbox.p2sm_state.last_report
             precompute_entries = report.array_entries + report.chain_nodes
-            duration += self.costs.p2sm_refresh_entry_ns * precompute_entries
+            p2sm_ns = self.costs.p2sm_refresh_entry_ns * precompute_entries
+            duration += p2sm_ns
 
         # Precompute the fused load update from the sandbox's vCPU count.
+        coalesce_ns = 0.0
         if self.config.enable_coalescing:
             template = queue.load.enqueue_update(DEFAULT_ENTITY_WEIGHT)
             sandbox.coalesced_update = CoalescedUpdate.precompute(
                 template.alpha, template.beta, sandbox.vcpu_count
             )
-            duration += self.costs.horse_pause_coalesce_ns
+            coalesce_ns = self.costs.horse_pause_coalesce_ns
+            duration += coalesce_ns
 
         self.pauses += 1
+        if self.obs.enabled:
+            self._emit_pause_obs(
+                sandbox, now_ns, queue.core_id,
+                dequeue_ns=dequeue_ns, sort_ns=sort_ns, p2sm_ns=p2sm_ns,
+                coalesce_ns=coalesce_ns, precompute_entries=precompute_entries,
+            )
         return HorsePauseResult(
             sandbox_id=sandbox.sandbox_id,
             duration_ns=round(duration),
             dequeued_vcpus=dequeued,
             precompute_entries=precompute_entries,
             precompute_bytes=self.costs.horse_memory_bytes(sandbox.vcpu_count),
+        )
+
+    def _emit_pause_obs(
+        self,
+        sandbox: Sandbox,
+        now_ns: int,
+        core_id: int,
+        dequeue_ns: float,
+        sort_ns: float,
+        p2sm_ns: float,
+        coalesce_ns: float,
+        precompute_entries: int,
+    ) -> None:
+        """Span tree for a HORSE pause: dequeue, then the precompute
+        work (vCPU sort, P2SM refresh, coalesced-update build) that
+        buys the O(1) resume."""
+        tracer = self.obs.tracer
+        tracer.name_process(core_id, f"cpu{core_id}")
+        tid = tracer.tid_for(sandbox.sandbox_id, pid=core_id)
+        root = tracer.open_span(
+            "pause", now_ns, category="pause", pid=core_id, tid=tid,
+            sandbox=sandbox.sandbox_id, path="horse",
+        )
+        cursor = now_ns
+        tracer.record_span(
+            "dequeue", cursor, round(dequeue_ns), pid=core_id, tid=tid,
+            category="pause",
+        )
+        cursor += round(dequeue_ns)
+        precompute = tracer.open_span(
+            "precompute", cursor, category="pause", pid=core_id, tid=tid,
+            entries=precompute_entries,
+        )
+        for name, phase_ns in (
+            ("sort_vcpus", sort_ns),
+            ("p2sm_refresh", p2sm_ns),
+            ("coalesce", coalesce_ns),
+        ):
+            tracer.record_span(
+                name, cursor, round(phase_ns), pid=core_id, tid=tid,
+                category="pause",
+            )
+            cursor += round(phase_ns)
+        precompute.close(cursor)
+        root.close(cursor)
+        metrics = self.obs.metrics
+        metrics.counter("pause.count").inc()
+        metrics.counter("p2sm.precompute_entries").inc(precompute_entries)
+        metrics.histogram("pause.precompute_ns").observe(
+            round(sort_ns + p2sm_ns + coalesce_ns)
         )
 
     # ------------------------------------------------------------------
@@ -265,6 +334,11 @@ class HorsePauseResume:
         self.ull.on_queue_updated(queue.runqueue_id)
 
         self.resumes += 1
+        if self.obs.enabled:
+            self._emit_resume_obs(
+                sandbox, now_ns, breakdown, queue.core_id,
+                merge_threads=merge_threads, pointer_writes=pointer_writes,
+            )
         return HorseResumeResult(
             sandbox_id=sandbox.sandbox_id,
             breakdown=breakdown,
@@ -272,3 +346,39 @@ class HorsePauseResume:
             merge_threads=merge_threads,
             pointer_writes=pointer_writes,
         )
+
+    def _emit_resume_obs(
+        self,
+        sandbox: Sandbox,
+        now_ns: int,
+        breakdown: Breakdown,
+        core_id: int,
+        merge_threads: int,
+        pointer_writes: int,
+    ) -> None:
+        """Nested spans for the fast resume, one child per step, tiling
+        the root exactly; also feeds the per-phase ns histograms."""
+        tracer = self.obs.tracer
+        tracer.name_process(core_id, f"cpu{core_id}")
+        tid = tracer.tid_for(sandbox.sandbox_id, pid=core_id)
+        timeline = tracer.timeline(
+            "resume", now_ns, category="resume", pid=core_id, tid=tid,
+            sandbox=sandbox.sandbox_id, path="horse",
+            vcpus=sandbox.vcpu_count, fast_path=self.config.fast_command_path,
+        )
+        phases = breakdown.phases
+        timeline.phase("parse", phases.get(STEP_PARSE, 0))
+        timeline.phase("lock", phases.get(STEP_LOCK, 0))
+        timeline.phase("sanity", phases.get(STEP_SANITY, 0))
+        timeline.phase(
+            "merge", phases.get(STEP_MERGE, 0),
+            p2sm=self.config.enable_p2sm, threads=merge_threads,
+            pointer_writes=pointer_writes,
+        )
+        timeline.phase(
+            "load_update", phases.get(STEP_LOAD, 0),
+            coalesced=self.config.enable_coalescing,
+        )
+        timeline.phase("dispatch", phases.get(STEP_FINALIZE, 0))
+        timeline.finish(total_ns=breakdown.total_ns)
+        observe_resume(self.obs.metrics, breakdown)

@@ -24,8 +24,15 @@ from repro.faas.pool import SandboxPool
 from repro.faas.startup import StartOutcome, StartStrategy
 from repro.hypervisor.platform import VirtualizationPlatform
 from repro.hypervisor.sandbox import Sandbox
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.span import OpenSpan
 from repro.sim.engine import Engine
 from repro.sim.tracing import NULL_TRACE, TraceLog
+
+#: Synthetic "process" id for gateway-level spans.  Physical CPUs use
+#: their core id as pid; the FaaS control plane gets its own track far
+#: above any real core count.
+FAAS_PID = 1_000_000
 
 
 class FaaSGateway:
@@ -41,6 +48,7 @@ class FaaSGateway:
         rng: random.Random,
         horse: Optional[HorsePauseResume] = None,
         trace: TraceLog = NULL_TRACE,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.engine = engine
         self.virt = virt
@@ -50,6 +58,7 @@ class FaaSGateway:
         self.rng = rng
         self.horse = horse
         self.trace = trace
+        self.obs = obs
         self.invocations: List[Invocation] = []
         #: hooks fired when an invocation completes (experiments attach)
         self.completion_hooks: List[Callable[[Invocation], None]] = []
@@ -79,7 +88,29 @@ class FaaSGateway:
             raise ValueError(
                 f"no strategy configured for start type {start_type.value!r}"
             )
-        outcome: StartOutcome = strategy.obtain(spec, now)
+        # The invocation root span is opened *before* the start strategy
+        # runs, so any pause/resume timelines recorded while obtaining
+        # the sandbox nest underneath it.
+        root: Optional[OpenSpan] = None
+        if self.obs.enabled:
+            tracer = self.obs.tracer
+            tracer.name_process(FAAS_PID, "faas")
+            root = tracer.open_span(
+                "invocation",
+                now,
+                category="faas",
+                pid=FAAS_PID,
+                tid=tracer.tid_for(f"fn:{function_name}", FAAS_PID, function_name),
+                function=function_name,
+                requested=start_type.value,
+                invocation=invocation.invocation_id,
+            )
+        try:
+            outcome: StartOutcome = strategy.obtain(spec, now)
+        except Exception:
+            if root is not None:
+                root.close(now, error=True)
+            raise
         invocation.start_type = outcome.start_type
         invocation.sandbox_id = outcome.sandbox.sandbox_id
         invocation.sandbox_ready_ns = now + outcome.init_ns
@@ -98,6 +129,8 @@ class FaaSGateway:
             except Exception as exc:  # record, don't crash the platform
                 invocation.error = f"{type(exc).__name__}: {exc}"
 
+        if root is not None:
+            self._finish_invocation_obs(root, invocation, outcome)
         self.trace.record(
             now, "gateway", "trigger",
             function=function_name, start=outcome.start_type.value,
@@ -109,6 +142,35 @@ class FaaSGateway:
             label=f"complete:{invocation.invocation_id}",
         )
         return invocation
+
+    # ------------------------------------------------------------------
+    def _finish_invocation_obs(
+        self,
+        root: OpenSpan,
+        invocation: Invocation,
+        outcome: StartOutcome,
+    ) -> None:
+        """Close the invocation span and feed the gateway metrics.
+
+        The full invocation timeline (initialization end, execution end)
+        is already known synchronously at trigger time — the simulator
+        charges both intervals up front — so the span closes here rather
+        than in ``_complete``.
+        """
+        start = outcome.start_type.value
+        root.attrs.update(start=start, sandbox=outcome.sandbox.sandbox_id)
+        invocation.record_spans(
+            self.obs.tracer, pid=root.span.pid, tid=root.span.tid
+        )
+        root.close(invocation.exec_end_ns)
+        metrics = self.obs.metrics
+        metrics.counter("gateway.trigger", "invocations triggered").inc()
+        metrics.counter(
+            f"gateway.start.{start}", f"invocations started via {start}"
+        ).inc()
+        metrics.histogram(
+            "invocation.init_ns", help="trigger -> sandbox-ready latency"
+        ).observe(invocation.initialization_ns)
 
     # ------------------------------------------------------------------
     def _complete(
@@ -126,6 +188,13 @@ class FaaSGateway:
             else:
                 self.virt.vanilla.pause(sandbox, now)
             self.pool.release(spec.name, sandbox)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "gateway.complete", "invocations completed"
+            ).inc()
+            self.obs.metrics.histogram(
+                "invocation.total_ns", help="trigger -> function-end latency"
+            ).observe(invocation.total_ns)
         self.trace.record(
             now, "gateway", "complete",
             function=spec.name, invocation=invocation.invocation_id,

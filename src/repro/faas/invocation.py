@@ -71,6 +71,33 @@ class Invocation:
             raise ValueError(f"invocation {self.invocation_id} not completed")
         return self.exec_end_ns - self.trigger_ns
 
+    def record_spans(self, tracer: Any, pid: int = 0, tid: int = 0) -> None:
+        """Emit the two pipeline intervals as spans on *tracer*.
+
+        Called by the gateway while its ``invocation`` root span is
+        still open, so both children parent to it implicitly.  *tracer*
+        is duck-typed (:class:`repro.obs.span.Tracer`) to keep this
+        module free of an obs dependency.
+        """
+        tracer.record_span(
+            "initialization",
+            self.trigger_ns,
+            self.initialization_ns,
+            category="faas",
+            pid=pid,
+            tid=tid,
+            start=self.start_type.value if self.start_type else "?",
+        )
+        tracer.record_span(
+            "execution",
+            self.exec_start_ns,
+            self.execution_ns,
+            category="faas",
+            pid=pid,
+            tid=tid,
+            interference_ns=self.interference_ns,
+        )
+
     @property
     def init_percentage(self) -> float:
         """Initialization share of the pipeline, in percent (Fig. 1/4)."""

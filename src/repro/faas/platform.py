@@ -32,6 +32,7 @@ from repro.faas.startup import (
 )
 from repro.hypervisor.platform import VirtualizationPlatform, platform_by_name
 from repro.hypervisor.sandbox import Sandbox
+from repro.obs.context import Observability, current as current_obs
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import NULL_TRACE, TraceLog
@@ -48,17 +49,23 @@ class FaaSPlatform:
         keepalive: Optional[KeepAlivePolicy] = None,
         horse_config: HorseConfig = HorseConfig.full(),
         trace: TraceLog = NULL_TRACE,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.engine = engine
         self.virt = virt
         self.rngs = rngs
         self.trace = trace
+        #: Observability bundle; defaults to the active context (NULL
+        #: unless the caller opted in with ``obs.activate(...)``).
+        self.obs = obs if obs is not None else current_obs()
+        self.virt.attach_observability(self.obs)
         self.registry = FunctionRegistry()
         self.pool = SandboxPool(
             engine,
             keepalive or FixedKeepAlive(),
             on_evict=self._release_sandbox_memory,
             trace=trace,
+            obs=self.obs,
         )
         self.ull_manager = UllRunqueueManager(virt.host)
         self.horse = HorsePauseResume(
@@ -67,6 +74,7 @@ class FaaSPlatform:
             costs=virt.costs,
             ull_manager=self.ull_manager,
             config=horse_config,
+            obs=self.obs,
         )
         strategies: Dict[StartType, StartStrategy] = {
             StartType.COLD: ColdStart(virt),
@@ -83,6 +91,7 @@ class FaaSPlatform:
             rng=rngs.stream("gateway"),
             horse=self.horse,
             trace=trace,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------

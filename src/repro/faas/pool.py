@@ -17,6 +17,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from repro.faas.keepalive import KeepAlivePolicy
 from repro.hypervisor.sandbox import Sandbox, SandboxState
+from repro.obs.context import NULL_OBS, Observability
 from repro.sim.engine import Engine
 from repro.sim.event import Event
 from repro.sim.tracing import NULL_TRACE, TraceLog
@@ -31,11 +32,13 @@ class SandboxPool:
         keepalive: KeepAlivePolicy,
         on_evict: Optional[Callable[[str, Sandbox], None]] = None,
         trace: TraceLog = NULL_TRACE,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self._engine = engine
         self._keepalive = keepalive
         self._on_evict = on_evict
         self._trace = trace
+        self.obs = obs
         self._idle: Dict[str, Deque[Sandbox]] = defaultdict(deque)
         #: sandbox_id -> pending eviction event (cancelled on acquire)
         self._eviction_events: Dict[str, Event] = {}
@@ -70,12 +73,20 @@ class SandboxPool:
         queue = self._idle.get(function_name)
         if not queue:
             self.misses += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "pool.miss", "warm-pool misses (no idle sandbox)"
+                ).inc()
             return None
         sandbox = queue.popleft()
         event = self._eviction_events.pop(sandbox.sandbox_id, None)
         if event is not None:
             event.cancel()
         self.hits += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "pool.hit", "warm-pool hits"
+            ).inc()
         self._trace.record(
             self._engine.now, "pool", "acquire",
             function=function_name, sandbox=sandbox.sandbox_id,
@@ -114,6 +125,17 @@ class SandboxPool:
         self._eviction_events.pop(sandbox.sandbox_id, None)
         sandbox.transition(SandboxState.STOPPED)
         self.evictions += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "pool.evict", "keep-alive evictions"
+            ).inc()
+            self.obs.tracer.record_instant(
+                "pool.evict",
+                self._engine.now,
+                category="pool",
+                function=function_name,
+                sandbox=sandbox.sandbox_id,
+            )
         self._trace.record(
             self._engine.now, "pool", "evict",
             function=function_name, sandbox=sandbox.sandbox_id,

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 from repro.hypervisor.dvfs import DvfsGovernor, FrequencyRange, GovernorMode
 from repro.hypervisor.runqueue import RunQueue
 from repro.hypervisor.vcpu import Vcpu
+from repro.obs.context import Observability
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,14 @@ class Host:
                 timeslice_ns=ull_timeslice_ns if is_ull else default_timeslice_ns,
                 reserved_for_ull=is_ull,
             )
+
+    # ------------------------------------------------------------------
+    def attach_observability(self, obs: Observability) -> None:
+        """Wire one obs bundle into the governor and every run queue."""
+        self.governor.obs = obs
+        for runqueue in self.runqueues.values():
+            runqueue.obs = obs
+            runqueue.load.obs = obs
 
     # ------------------------------------------------------------------
     # Run-queue views

@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.hypervisor.load_tracking import DEFAULT_ENTITY_WEIGHT
+from repro.obs.context import NULL_OBS, Observability
 
 
 class GovernorMode(enum.Enum):
@@ -50,24 +51,32 @@ class DvfsGovernor:
         mode: GovernorMode = GovernorMode.ONDEMAND,
         frequency: FrequencyRange = FrequencyRange(800_000, 2_400_000),
         capacity: float = DEFAULT_ENTITY_WEIGHT,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.mode = mode
         self.frequency = frequency
         self.capacity = capacity
+        self.obs = obs
         self.decisions = 0
 
     def target_khz(self, load: float) -> int:
         """Frequency for a queue currently tracking *load*."""
         self.decisions += 1
         if self.mode is GovernorMode.PERFORMANCE:
-            return self.frequency.max_khz
-        if self.mode is GovernorMode.POWERSAVE:
-            return self.frequency.min_khz
-        utilization = min(1.0, max(0.0, load / self.capacity))
-        span = self.frequency.max_khz - self.frequency.min_khz
-        return self.frequency.clamp(self.frequency.min_khz + span * utilization)
+            khz = self.frequency.max_khz
+        elif self.mode is GovernorMode.POWERSAVE:
+            khz = self.frequency.min_khz
+        else:
+            utilization = min(1.0, max(0.0, load / self.capacity))
+            span = self.frequency.max_khz - self.frequency.min_khz
+            khz = self.frequency.clamp(self.frequency.min_khz + span * utilization)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("dvfs.decisions").inc()
+            metrics.gauge("dvfs.target_khz").set(khz)
+        return khz
 
     def __repr__(self) -> str:
         return (

@@ -20,9 +20,10 @@ The DVFS governor reads the tracked load to pick core frequencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.coalesce import AffineUpdate
+from repro.obs.context import NULL_OBS, Observability
 
 #: One PELT accounting period (ns) — Linux uses 1024 us; 1 ms here.
 PELT_PERIOD_NS = 1_000_000
@@ -47,6 +48,8 @@ class RunqueueLoad:
     value: float = 0.0
     last_update_ns: int = 0
     updates_applied: int = 0
+    #: Observability wiring (shared NULL sentinel unless attached).
+    obs: Observability = field(default=NULL_OBS, repr=False, compare=False)
 
     def decay_to(self, now_ns: int) -> None:
         """Decay the aggregate for the periods elapsed since last update."""
@@ -68,12 +71,16 @@ class RunqueueLoad:
         self.decay_to(now_ns)
         self.value = self.enqueue_update(weight).apply(self.value)
         self.updates_applied += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("load.fold.iterated").inc()
 
     def apply_coalesced(self, now_ns: int, alpha_n: float, beta_sum: float) -> None:
         """Apply a precomputed n-fold fused update (HORSE path)."""
         self.decay_to(now_ns)
         self.value = alpha_n * self.value + beta_sum
         self.updates_applied += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("load.fold.coalesced").inc()
 
     def dequeue_entity(self, now_ns: int, weight: float = DEFAULT_ENTITY_WEIGHT) -> None:
         """Remove one entity's contribution (used when pausing).

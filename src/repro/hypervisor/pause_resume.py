@@ -27,6 +27,8 @@ from repro.hypervisor.runqueue import RunQueue
 from repro.hypervisor.sandbox import Sandbox, SandboxError, SandboxState
 from repro.hypervisor.scheduler.base import SchedulerPolicy
 from repro.metrics.recorder import Breakdown
+from repro.obs.context import Observability, current as current_obs
+from repro.obs.phases import observe_resume
 
 # Step names, used as Breakdown phase keys everywhere downstream.
 STEP_PARSE = "1-parse"
@@ -69,10 +71,19 @@ class ResumeLockBusyError(SandboxError):
 class VanillaPauseResume:
     """Unmodified pause/resume, as shipped by Firecracker/KVM and Xen."""
 
-    def __init__(self, host: Host, policy: SchedulerPolicy, costs: CostModel) -> None:
+    def __init__(
+        self,
+        host: Host,
+        policy: SchedulerPolicy,
+        costs: CostModel,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.host = host
         self.policy = policy
         self.costs = costs
+        # Defaults to the active observability context so drivers that
+        # construct the resume path directly trace without plumbing.
+        self.obs = obs if obs is not None else current_obs()
         self._resume_lock_owner: Optional[str] = None
         self.resumes = 0
         self.pauses = 0
@@ -111,6 +122,13 @@ class VanillaPauseResume:
             vcpu.mark_paused()
         sandbox.transition(SandboxState.PAUSED)
         self.pauses += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("pause.count").inc()
+            self.obs.tracer.record_span(
+                "pause", now_ns, round(duration), category="pause",
+                tid=self.obs.tracer.tid_for(sandbox.sandbox_id),
+                sandbox=sandbox.sandbox_id, path="vanilla", dequeued=dequeued,
+            )
         return PauseResult(
             sandbox_id=sandbox.sandbox_id,
             duration_ns=round(duration),
@@ -141,7 +159,7 @@ class VanillaPauseResume:
             breakdown.add(STEP_SANITY, round(self.costs.resume_sanity_ns))
 
             # Steps 4 + 5, interleaved per vCPU as the paper describes.
-            runqueue_ids = self._enqueue_all(sandbox, now_ns, breakdown)
+            runqueue_ids, scan_steps = self._enqueue_all(sandbox, now_ns, breakdown)
 
             # Step 6: release the lock, sandbox runs.
             sandbox.transition(SandboxState.RUNNING)
@@ -151,24 +169,71 @@ class VanillaPauseResume:
             self._resume_lock_owner = None
 
         self.resumes += 1
+        if self.obs.enabled:
+            self._emit_resume_obs(
+                sandbox, now_ns, breakdown, runqueue_ids, scan_steps, "vanilla"
+            )
         return ResumeResult(
             sandbox_id=sandbox.sandbox_id,
             breakdown=breakdown,
             runqueue_ids=runqueue_ids,
         )
 
+    def _emit_resume_obs(
+        self,
+        sandbox: Sandbox,
+        now_ns: int,
+        breakdown: Breakdown,
+        runqueue_ids: List[int],
+        scan_steps: int,
+        path: str,
+    ) -> None:
+        """Lay the six steps out as nested spans and feed the phase
+        histograms.  The children tile the root exactly, so the span
+        total always reconciles with the breakdown."""
+        tracer = self.obs.tracer
+        pid = (
+            self.host.runqueues[runqueue_ids[0]].core_id if runqueue_ids else 0
+        )
+        tracer.name_process(pid, f"cpu{pid}")
+        tid = tracer.tid_for(sandbox.sandbox_id, pid=pid)
+        timeline = tracer.timeline(
+            "resume", now_ns, category="resume", pid=pid, tid=tid,
+            sandbox=sandbox.sandbox_id, path=path, vcpus=sandbox.vcpu_count,
+        )
+        phases = breakdown.phases
+        timeline.phase("parse", phases.get(STEP_PARSE, 0))
+        timeline.phase("lock", phases.get(STEP_LOCK, 0))
+        timeline.phase("sanity", phases.get(STEP_SANITY, 0))
+        timeline.phase(
+            "merge", phases.get(STEP_MERGE, 0), scan_steps=scan_steps
+        )
+        timeline.phase(
+            "load_update", phases.get(STEP_LOAD, 0),
+            coalesced=False, folds=sandbox.vcpu_count,
+        )
+        timeline.phase("dispatch", phases.get(STEP_FINALIZE, 0))
+        timeline.finish(total_ns=breakdown.total_ns)
+        observe_resume(self.obs.metrics, breakdown)
+
     def _enqueue_all(
         self, sandbox: Sandbox, now_ns: int, breakdown: Breakdown
-    ) -> List[int]:
-        """Steps 4 and 5 for every vCPU; charges per-vCPU costs."""
+    ) -> tuple[List[int], int]:
+        """Steps 4 and 5 for every vCPU; charges per-vCPU costs.
+
+        Returns the run queues used and the total sorted-insert scan
+        steps (span attribution data for the observability layer).
+        """
         merge_ns = 0.0
         load_ns = 0.0
+        total_scan_steps = 0
         runqueue_ids: List[int] = []
         for position, vcpu in enumerate(sandbox.vcpus):
             runqueue = self.select_runqueue(sandbox)
             self.policy.on_enqueue(vcpu)
             # Step 4: real O(n) sorted insert; count the scan hops.
             scan_steps = runqueue.enqueue_sorted_without_load(vcpu)
+            total_scan_steps += scan_steps
             if position == 0:
                 merge_ns += self.costs.merge_first_vcpu_ns
             else:
@@ -183,4 +248,4 @@ class VanillaPauseResume:
             runqueue_ids.append(runqueue.runqueue_id)
         breakdown.add(STEP_MERGE, round(merge_ns))
         breakdown.add(STEP_LOAD, round(load_ns))
-        return runqueue_ids
+        return runqueue_ids, total_scan_steps

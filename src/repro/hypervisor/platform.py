@@ -19,6 +19,7 @@ from repro.hypervisor.scheduler.base import SchedulerPolicy
 from repro.hypervisor.scheduler.cfs import CfsPolicy
 from repro.hypervisor.scheduler.credit2 import Credit2Policy
 from repro.hypervisor.snapshot import SnapshotStore
+from repro.obs.context import Observability, current as current_obs
 
 
 @dataclass
@@ -31,6 +32,12 @@ class VirtualizationPlatform:
     costs: CostModel
     vanilla: VanillaPauseResume
     snapshots: SnapshotStore
+
+    def attach_observability(self, obs: Observability) -> None:
+        """Point every instrumented hypervisor component at *obs*."""
+        self.vanilla.obs = obs
+        self.policy.obs = obs
+        self.host.attach_observability(obs)
 
 
 def _build(
@@ -50,7 +57,7 @@ def _build(
         governor_mode=governor_mode,
     )
     vanilla = VanillaPauseResume(host=host, policy=policy, costs=costs)
-    return VirtualizationPlatform(
+    platform = VirtualizationPlatform(
         name=name,
         host=host,
         policy=policy,
@@ -58,6 +65,11 @@ def _build(
         vanilla=vanilla,
         snapshots=SnapshotStore(costs),
     )
+    # Platforms built inside an ``obs.activate(...)`` block (the CLI's
+    # ``trace`` command, tests) come up instrumented; the default is
+    # the NULL bundle, i.e. a single enabled-check of overhead.
+    platform.attach_observability(current_obs())
+    return platform
 
 
 def firecracker_platform(

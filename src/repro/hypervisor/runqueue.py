@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 from repro.core.linked_list import SortedLinkedList
 from repro.hypervisor.load_tracking import RunqueueLoad
 from repro.hypervisor.vcpu import Vcpu
+from repro.obs.context import NULL_OBS, Observability
 
 
 class RunQueue:
@@ -31,6 +32,7 @@ class RunQueue:
         core_id: int,
         timeslice_ns: int,
         reserved_for_ull: bool = False,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if timeslice_ns <= 0:
             raise ValueError(f"timeslice must be positive, got {timeslice_ns}")
@@ -38,6 +40,7 @@ class RunQueue:
         self.core_id = core_id
         self.timeslice_ns = timeslice_ns
         self.reserved_for_ull = reserved_for_ull
+        self.obs = obs
         self.entities: SortedLinkedList[Vcpu] = SortedLinkedList(sort_key)
         self.load = RunqueueLoad()
         self.enqueue_count = 0
@@ -63,7 +66,10 @@ class RunQueue:
         vcpu.mark_runnable(self.runqueue_id)
         self.load.enqueue_entity(now_ns, vcpu.weight)
         self.enqueue_count += 1
-        return self.entities.scan_steps - before
+        steps = self.entities.scan_steps - before
+        if self.obs.enabled:
+            self._observe_enqueue(steps)
+        return steps
 
     def enqueue_sorted_without_load(self, vcpu: Vcpu) -> int:
         """Sorted insert only — used when load updates are coalesced."""
@@ -71,7 +77,16 @@ class RunQueue:
         self.entities.insert_sorted(vcpu)
         vcpu.mark_runnable(self.runqueue_id)
         self.enqueue_count += 1
-        return self.entities.scan_steps - before
+        steps = self.entities.scan_steps - before
+        if self.obs.enabled:
+            self._observe_enqueue(steps)
+        return steps
+
+    def _observe_enqueue(self, scan_steps: int) -> None:
+        metrics = self.obs.metrics
+        metrics.counter("runqueue.enqueue").inc()
+        metrics.counter("runqueue.scan_steps").inc(scan_steps)
+        metrics.gauge("runqueue.last_len").set(len(self.entities))
 
     def dequeue(self, vcpu: Vcpu, now_ns: int) -> bool:
         """Remove *vcpu* (pause path); folds its load contribution out."""
@@ -80,6 +95,8 @@ class RunQueue:
             vcpu.mark_paused()
             self.load.dequeue_entity(now_ns, vcpu.weight)
             self.dequeue_count += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("runqueue.dequeue").inc()
         return removed
 
     def peek_next(self) -> Optional[Vcpu]:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import abc
 
 from repro.hypervisor.vcpu import Vcpu
+from repro.obs.context import NULL_OBS, Observability
 
 
 class SchedulerPolicy(abc.ABC):
@@ -20,6 +21,14 @@ class SchedulerPolicy(abc.ABC):
 
     #: Human-readable policy name ("credit2", "cfs").
     name: str = "abstract"
+
+    #: Observability wiring; platforms swap in a live bundle.
+    obs: Observability = NULL_OBS
+
+    def observe_enqueue(self, vcpu: Vcpu) -> None:
+        """Metric hook concrete policies call from ``on_enqueue``."""
+        if self.obs.enabled:
+            self.obs.metrics.counter(f"scheduler.{self.name}.enqueue").inc()
 
     @abc.abstractmethod
     def sort_key(self, vcpu: Vcpu) -> float:

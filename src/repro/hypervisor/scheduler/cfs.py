@@ -31,6 +31,7 @@ class CfsPolicy(SchedulerPolicy):
         return vcpu.vruntime
 
     def on_enqueue(self, vcpu: Vcpu) -> None:
+        self.observe_enqueue(vcpu)
         # A woken entity is placed at the queue's min vruntime so it
         # neither starves others nor is starved (CFS's sleeper logic,
         # reduced to its placement effect).

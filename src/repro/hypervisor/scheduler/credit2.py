@@ -41,6 +41,7 @@ class Credit2Policy(SchedulerPolicy):
         return -vcpu.credit
 
     def on_enqueue(self, vcpu: Vcpu) -> None:
+        self.observe_enqueue(vcpu)
         if vcpu.credit <= CREDIT_RESET_THRESHOLD:
             vcpu.credit = CREDIT_INITIAL
 

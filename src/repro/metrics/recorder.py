@@ -8,28 +8,43 @@ Two recorders cover the evaluation's needs:
   operation (the resume path's steps 1-6), keeping both the absolute
   nanoseconds and the share of the total, which is exactly what the
   paper's Figure 2 plots.
+
+Both recorders keep raw samples for exact statistics.  A
+:class:`SeriesRecorder` can additionally *mirror* into an
+:class:`repro.obs.metrics.MetricRegistry` so experiment series show up
+alongside the hot-path histograms in one unified snapshot.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.metrics.stats import Summary
+from repro.obs.metrics import MetricRegistry
 
 
 class SeriesRecorder:
-    """Accumulates named scalar series and summarizes them."""
+    """Accumulates named scalar series and summarizes them.
 
-    def __init__(self) -> None:
+    When *registry* is given, every recorded value is also fed to a
+    same-named histogram in it, unifying experiment-level series with
+    the observability layer's metric registry.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
         self._series: Dict[str, List[float]] = defaultdict(list)
+        self._registry = registry
 
     def record(self, name: str, value: float) -> None:
         self._series[name].append(float(value))
+        if self._registry is not None:
+            self._registry.histogram(name, help="mirrored series").observe(value)
 
     def extend(self, name: str, values: Iterable[float]) -> None:
-        self._series[name].extend(float(v) for v in values)
+        for value in values:
+            self.record(name, value)
 
     def values(self, name: str) -> List[float]:
         """The raw values for a series (empty list if never recorded)."""

@@ -1,0 +1,164 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL.
+
+The Chrome format loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: every span becomes a complete ("X") event with
+microsecond timestamps, instants become "i" events, and metadata events
+name the tracks — one *process* per physical CPU, one *thread* per
+sandbox, matching how the instrumentation assigns ``pid``/``tid``.
+
+The JSONL format is the lossless interchange form: one JSON object per
+line, nanosecond-exact, with a leading ``meta`` line carrying the track
+names.  :func:`read_jsonl` reconstructs a tracer whose Chrome export is
+byte-identical to the original's — the round-trip property the tests
+pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List
+
+from repro.obs.span import KIND_INSTANT, Span, Tracer
+
+
+def _sorted_spans(tracer: Tracer) -> List[Span]:
+    return sorted(tracer.spans, key=lambda s: (s.start_ns, s.span_id))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _chrome_args(span: Span) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"span_id": span.span_id}
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    args.update(span.attrs)
+    return args
+
+
+def _chrome_event(span: Span) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "name": span.name,
+        "cat": span.category or "repro",
+        "ts": span.start_ns / 1000.0,  # Chrome timestamps are in us
+        "pid": span.pid,
+        "tid": span.tid,
+        "args": _chrome_args(span),
+    }
+    if span.kind == KIND_INSTANT:
+        event["ph"] = "i"
+        event["s"] = "t"  # thread-scoped instant
+    else:
+        event["ph"] = "X"
+        event["dur"] = span.duration_ns / 1000.0
+    return event
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The full Chrome trace object (``traceEvents`` + metadata)."""
+    events: List[Dict[str, Any]] = []
+    for pid, name in sorted(tracer.process_names.items()):
+        events.append(
+            {
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for (pid, tid), name in sorted(tracer.thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    events.extend(_chrome_event(span) for span in _sorted_spans(tracer))
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer), handle, indent=1)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# JSONL (lossless, nanosecond-exact)
+# ----------------------------------------------------------------------
+def _span_record(span: Span) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "type": "span",
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "category": span.category,
+        "pid": span.pid,
+        "tid": span.tid,
+        "kind": span.kind,
+        "attrs": span.attrs,
+    }
+    return record
+
+
+def iter_jsonl(tracer: Tracer) -> Iterator[str]:
+    """The JSONL lines for *tracer*: one meta line, then one per span."""
+    meta = {
+        "type": "meta",
+        "process_names": {str(pid): name
+                          for pid, name in sorted(tracer.process_names.items())},
+        "thread_names": {f"{pid}:{tid}": name
+                         for (pid, tid), name in sorted(tracer.thread_names.items())},
+    }
+    yield json.dumps(meta, sort_keys=True)
+    for span in _sorted_spans(tracer):
+        yield json.dumps(_span_record(span), sort_keys=True)
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as handle:
+        for line in iter_jsonl(tracer):
+            handle.write(line)
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> Tracer:
+    """Reconstruct a tracer from a JSONL trace file.
+
+    The result's spans, ids, and track names match the original, so
+    ``to_chrome_trace(read_jsonl(p)) == to_chrome_trace(original)``.
+    """
+    tracer = Tracer()
+    max_id = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                for pid, name in record.get("process_names", {}).items():
+                    tracer.name_process(int(pid), name)
+                for key, name in record.get("thread_names", {}).items():
+                    pid_text, tid_text = key.split(":", 1)
+                    tracer._thread_names[(int(pid_text), int(tid_text))] = name
+            elif kind == "span":
+                span = Span(
+                    name=record["name"],
+                    start_ns=record["start_ns"],
+                    duration_ns=record["duration_ns"],
+                    span_id=record["span_id"],
+                    parent_id=record["parent_id"],
+                    category=record["category"],
+                    pid=record["pid"],
+                    tid=record["tid"],
+                    kind=record["kind"],
+                    attrs=record["attrs"],
+                )
+                tracer.spans.append(span)
+                max_id = max(max_id, span.span_id)
+            else:
+                raise ValueError(f"unknown JSONL record type {kind!r}")
+    tracer._next_id = max_id + 1
+    return tracer

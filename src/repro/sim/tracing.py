@@ -15,8 +15,9 @@ order across subsystems, and asserting *sequences* in tests::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -34,12 +35,19 @@ class TraceEvent:
 
 
 class TraceLog:
-    """Append-only event log with filtering helpers."""
+    """Bounded event log with filtering helpers.
+
+    When *capacity* is set, the log is a ring buffer: recording past
+    capacity evicts the **oldest** event, so the log always holds the
+    most recent window — what you want when diagnosing a failure at the
+    end of a long run.  ``dropped`` counts the evicted events, so
+    ``len(log) + log.dropped`` is the total ever recorded.
+    """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self._events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.capacity = capacity
         self.dropped = 0
 
@@ -51,8 +59,7 @@ class TraceLog:
         self, time_ns: int, subsystem: str, operation: str, **details: Any
     ) -> None:
         if self.capacity is not None and len(self._events) >= self.capacity:
-            self.dropped += 1
-            return
+            self.dropped += 1  # deque(maxlen=...) evicts the oldest
         self._events.append(
             TraceEvent(
                 time_ns=time_ns,
@@ -96,10 +103,10 @@ class TraceLog:
 
     def render(self, limit: int = 50) -> str:
         """Human-readable tail of the log."""
-        tail = self._events[-limit:]
-        lines = [str(event) for event in tail]
-        if len(self._events) > limit:
-            lines.insert(0, f"... ({len(self._events) - limit} earlier events)")
+        events = list(self._events)  # deques don't slice
+        lines = [str(event) for event in events[-limit:]]
+        if len(events) > limit:
+            lines.insert(0, f"... ({len(events) - limit} earlier events)")
         return "\n".join(lines)
 
 

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.stats import (
+    ConfidenceInterval,
     Summary,
     confidence_interval_95,
     mean,
@@ -79,6 +80,25 @@ class TestPercentile:
         assert min(data) <= p50 <= p95 <= p99 <= max(data)
 
 
+class TestPercentileEdgeCases:
+    def test_n2_p0_and_p100_hit_endpoints(self):
+        assert percentile([7.0, 3.0], 0) == 3.0
+        assert percentile([7.0, 3.0], 100) == 7.0
+
+    def test_n2_interpolates_between_the_two(self):
+        # rank = (p/100) * (n-1) with n=2 is just p/100.
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+        assert percentile([0.0, 10.0], 50) == pytest.approx(5.0)
+        assert percentile([0.0, 10.0], 99) == pytest.approx(9.9)
+
+    def test_p0_p100_exact_even_with_float_noise(self):
+        # p=0 / p=100 must return the exact min/max, not an
+        # interpolated neighbour.
+        data = [0.1 + 0.1 * i for i in range(11)]
+        assert percentile(data, 0) == min(data)
+        assert percentile(data, 100) == max(data)
+
+
 class TestConfidenceInterval:
     def test_single_value_zero_width(self):
         ci = confidence_interval_95([5.0])
@@ -112,6 +132,15 @@ class TestConfidenceInterval:
     def test_t_critical_interpolates(self):
         value = t_critical_95(22)
         assert t_critical_95(25) < value < t_critical_95(20)
+
+    def test_t_critical_df22_linear_between_20_and_25(self):
+        # The table jumps from df=20 to df=25; df=22 sits 2/5 along.
+        expected = 2.086 + (22 - 20) / (25 - 20) * (2.060 - 2.086)
+        assert t_critical_95(22) == pytest.approx(expected)
+
+    def test_relative_half_width_zero_mean(self):
+        ci = ConfidenceInterval(mean=0.0, half_width=1.5, n=10)
+        assert ci.relative_half_width == 0.0
 
     def test_t_critical_large_df_is_z(self):
         assert t_critical_95(10_000) == pytest.approx(1.96)

@@ -1,0 +1,56 @@
+"""The observability bundle and the active-context stack."""
+
+from repro.obs.context import NULL_OBS, Observability, activate, current
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.span import NULL_TRACER
+
+
+class TestBundle:
+    def test_default_bundle_is_enabled(self):
+        obs = Observability()
+        assert obs.enabled is True
+        assert obs.tracer.enabled is True
+        assert obs.metrics.enabled is True
+
+    def test_null_bundle_is_disabled(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.tracer is NULL_TRACER
+        assert NULL_OBS.metrics is NULL_REGISTRY
+
+
+class TestActiveContext:
+    def test_default_is_null(self):
+        assert current() is NULL_OBS
+
+    def test_activate_nests_and_restores(self):
+        outer = Observability()
+        inner = Observability()
+        with activate(outer):
+            assert current() is outer
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is NULL_OBS
+
+    def test_activate_restores_on_exception(self):
+        obs = Observability()
+        try:
+            with activate(obs):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current() is NULL_OBS
+
+    def test_platforms_built_inside_pick_up_bundle(self):
+        from repro.hypervisor.platform import firecracker_platform
+
+        obs = Observability()
+        with activate(obs):
+            platform = firecracker_platform()
+        assert platform.vanilla.obs is obs
+
+    def test_platforms_built_outside_stay_null(self):
+        from repro.hypervisor.platform import firecracker_platform
+
+        platform = firecracker_platform()
+        assert platform.vanilla.obs is NULL_OBS

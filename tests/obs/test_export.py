@@ -1,0 +1,112 @@
+"""Exporters: Chrome trace-event JSON and the lossless JSONL round-trip."""
+
+import json
+
+from repro.obs.export import (
+    iter_jsonl,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.span import Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.name_process(0, "cpu0")
+    tid = tracer.tid_for("sb-0", pid=0)
+    timeline = tracer.timeline(
+        "resume", 1000, category="resume", pid=0, tid=tid, path="horse"
+    )
+    timeline.phase("merge", 40)
+    timeline.phase("load_update", 47)
+    timeline.finish()
+    tracer.record_instant("pool.evict", 5000, category="pool", pid=0, tid=tid)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_complete_events_use_microseconds(self):
+        trace = to_chrome_trace(make_tracer())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        merge = next(e for e in spans if e["name"] == "merge")
+        assert merge["ts"] == 1.0  # 1000 ns
+        assert merge["dur"] == 0.04  # 40 ns
+        assert merge["cat"] == "resume"
+
+    def test_metadata_names_tracks(self):
+        trace = to_chrome_trace(make_tracer())
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["tid"]): e["args"]["name"]
+                 for e in metadata}
+        assert names[("process_name", 0, 0)] == "cpu0"
+        assert ("thread_name", 0, 1) in names
+
+    def test_instants_are_i_events(self):
+        trace = to_chrome_trace(make_tracer())
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "pool.evict"
+
+    def test_parent_links_in_args(self):
+        tracer = make_tracer()
+        trace = to_chrome_trace(tracer)
+        root = tracer.find("resume")[0]
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        merge = next(e for e in spans if e["name"] == "merge")
+        assert merge["args"]["parent_id"] == root.span_id
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "out.trace.json")
+        write_chrome_trace(make_tracer(), path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["displayTimeUnit"] == "ns"
+        assert loaded["traceEvents"]
+
+
+class TestJsonl:
+    def test_first_line_is_meta(self):
+        lines = list(iter_jsonl(make_tracer()))
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["process_names"] == {"0": "cpu0"}
+
+    def test_span_lines_are_ns_exact(self):
+        lines = list(iter_jsonl(make_tracer()))
+        records = [json.loads(line) for line in lines[1:]]
+        merge = next(r for r in records if r["name"] == "merge")
+        assert merge["start_ns"] == 1000
+        assert merge["duration_ns"] == 40
+
+    def test_round_trip_preserves_chrome_export(self, tmp_path):
+        original = make_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(original, path)
+        restored = read_jsonl(path)
+        assert to_chrome_trace(restored) == to_chrome_trace(original)
+
+    def test_round_trip_preserves_span_structure(self, tmp_path):
+        original = make_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(original, path)
+        restored = read_jsonl(path)
+        assert len(restored) == len(original)
+        root = restored.find("resume")[0]
+        assert [c.name for c in restored.children_of(root)] == [
+            "merge", "load_update",
+        ]
+        # the restored tracer keeps allocating fresh ids
+        new_span = restored.record_span("extra", 0, 1)
+        assert new_span.span_id > max(s.span_id for s in original.spans)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        try:
+            read_jsonl(str(path))
+        except ValueError as exc:
+            assert "mystery" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")

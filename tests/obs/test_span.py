@@ -1,0 +1,156 @@
+"""Spans: recording, nesting, timelines, and the null tracer."""
+
+import pytest
+
+from repro.obs.span import NULL_TRACER, Span, Tracer
+
+
+class TestRecording:
+    def test_record_span_fields(self):
+        tracer = Tracer()
+        span = tracer.record_span(
+            "work", 100, 50, category="c", pid=3, tid=7, key="v"
+        )
+        assert span.start_ns == 100
+        assert span.duration_ns == 50
+        assert span.end_ns == 150
+        assert span.category == "c"
+        assert (span.pid, span.tid) == (3, 7)
+        assert span.attrs == {"key": "v"}
+        assert len(tracer) == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().record_span("bad", 0, -1)
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = Tracer()
+        ids = [tracer.record_span(f"s{i}", i, 1).span_id for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_record_instant_has_zero_duration(self):
+        tracer = Tracer()
+        instant = tracer.record_instant("tick", 42)
+        assert instant.duration_ns == 0
+        assert instant.kind == "instant"
+
+
+class TestNesting:
+    def test_spans_nest_under_open_span(self):
+        tracer = Tracer()
+        root = tracer.open_span("outer", 0)
+        child = tracer.record_span("inner", 10, 5)
+        root.close(100)
+        assert child.parent_id == root.span.span_id
+        assert root.span.duration_ns == 100
+        assert tracer.children_of(root.span) == [child]
+        assert tracer.roots() == [root.span]
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        a = tracer.record_span("a", 0, 1)
+        opened = tracer.open_span("b", 0)
+        child = tracer.record_span("c", 0, 1, parent=a)
+        opened.close(1)
+        assert child.parent_id == a.span_id
+
+    def test_close_is_tolerant_of_unclosed_children(self):
+        # An exception path may leave inner spans open; closing the
+        # outer handle must pop and close them at the same end time.
+        tracer = Tracer()
+        outer = tracer.open_span("outer", 0)
+        inner = tracer.open_span("inner", 10)
+        outer.close(50)
+        assert inner.span.duration_ns == 40
+        assert outer.span.duration_ns == 50
+        assert len(tracer._stack) == 0
+
+    def test_double_close_is_noop(self):
+        tracer = Tracer()
+        handle = tracer.open_span("s", 0)
+        handle.close(10)
+        handle.close(99)
+        assert handle.span.duration_ns == 10
+        assert len(tracer) == 1
+
+
+class TestTimeline:
+    def test_phases_tile_the_root_exactly(self):
+        tracer = Tracer()
+        timeline = tracer.timeline("resume", 1000, category="resume")
+        timeline.phase("parse", 15)
+        timeline.phase("merge", 40, threads=2)
+        timeline.phase("load_update", 47)
+        root = timeline.finish(total_ns=102)
+        assert root.start_ns == 1000
+        assert root.duration_ns == 15 + 40 + 47
+        children = tracer.children_of(root)
+        assert [c.name for c in children] == ["parse", "merge", "load_update"]
+        # back-to-back layout: each child starts where the last ended
+        assert children[0].start_ns == 1000
+        assert children[1].start_ns == children[0].end_ns
+        assert children[2].start_ns == children[1].end_ns
+        assert sum(c.duration_ns for c in children) == root.duration_ns
+
+    def test_phases_inherit_track_and_category(self):
+        tracer = Tracer()
+        timeline = tracer.timeline("op", 0, category="x", pid=4, tid=9)
+        span = timeline.phase("p", 1)
+        assert (span.pid, span.tid, span.category) == (4, 9, "x")
+
+
+class TestTracks:
+    def test_tid_interning_is_stable(self):
+        tracer = Tracer()
+        first = tracer.tid_for("sb-0", pid=1)
+        again = tracer.tid_for("sb-0", pid=1)
+        other = tracer.tid_for("sb-1", pid=1)
+        assert first == again
+        assert first != other
+        assert tracer.thread_names[(1, first)] == "sb-0"
+
+    def test_name_process(self):
+        tracer = Tracer()
+        tracer.name_process(3, "cpu3")
+        assert tracer.process_names == {3: "cpu3"}
+
+
+class TestClockSpan:
+    def test_span_context_manager_uses_clock(self):
+        times = iter([100, 250])
+        tracer = Tracer(clock=lambda: next(times))
+        with tracer.span("timed") as handle:
+            pass
+        assert handle.span.start_ns == 100
+        assert handle.span.duration_ns == 150
+
+    def test_span_without_clock_raises(self):
+        with pytest.raises(RuntimeError):
+            with Tracer().span("nope"):
+                pass
+
+
+class TestNullTracer:
+    def test_disabled_and_swallows_everything(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.record_span("s", 0, 1)
+        NULL_TRACER.record_instant("i", 0)
+        handle = NULL_TRACER.open_span("o", 0)
+        handle.close(10)
+        timeline = NULL_TRACER.timeline("t", 0)
+        timeline.phase("p", 5)
+        timeline.finish()
+        assert len(NULL_TRACER.spans) == 0
+        assert NULL_TRACER.tid_for("anything") == 0
+
+    def test_null_tracer_shares_one_span_object(self):
+        a = NULL_TRACER.record_span("a", 0, 1)
+        b = NULL_TRACER.record_span("b", 0, 1)
+        assert a is b
+
+
+def test_span_str_is_readable():
+    span = Span(name="merge", start_ns=5, duration_ns=3, span_id=1,
+                attrs={"threads": 2})
+    assert "merge" in str(span)
+    assert "threads=2" in str(span)

@@ -43,6 +43,18 @@ class TestTraceLog:
         assert len(log) == 2
         assert log.dropped == 3
 
+    def test_capacity_is_ring_keeping_newest(self):
+        # Eviction is oldest-first: the survivors are the most recent
+        # events, and len + dropped equals the total ever recorded.
+        log = TraceLog(capacity=3)
+        for i in range(10):
+            log.record(i, "s", f"op{i}")
+        assert [e.time_ns for e in log] == [7, 8, 9]
+        assert log.operations("s") == ["op7", "op8", "op9"]
+        assert len(log) + log.dropped == 10
+        assert log.last() is not None and log.last().time_ns == 9
+        assert "op9" in log.render(limit=2)
+
     def test_bad_capacity_rejected(self):
         with pytest.raises(ValueError):
             TraceLog(capacity=0)

@@ -18,6 +18,13 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "figure3"])
         assert args.name == "figure3"
 
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "figure2", "--fast", "--out-dir", "/tmp/t"]
+        )
+        assert args.name == "figure2"
+        assert args.fast and args.out_dir == "/tmp/t"
+
 
 class TestCommands:
     def test_list_prints_all_experiments(self, capsys):
@@ -45,6 +52,34 @@ class TestCommands:
     def test_overhead_command(self, capsys):
         assert main(["experiment", "overhead", "--fast"]) == 0
         assert "mem delta" in capsys.readouterr().out
+
+    def test_trace_unknown_experiment_fails(self, capsys):
+        assert main(["trace", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_exports_chrome_json_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import read_jsonl, to_chrome_trace
+
+        out_dir = tmp_path / "traces"
+        assert main(
+            ["trace", "figure2", "--fast", "--out-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== metrics" in out
+        assert "resume.total_ns" in out
+
+        chrome_path = out_dir / "figure2.trace.json"
+        jsonl_path = out_dir / "figure2.trace.jsonl"
+        chrome = json.loads(chrome_path.read_text())
+        events = chrome["traceEvents"]
+        assert any(e.get("ph") == "X" and e["name"] == "resume"
+                   for e in events)
+        assert any(e.get("ph") == "X" and e["name"] == "merge"
+                   for e in events)
+        # the JSONL form round-trips to the identical Chrome export
+        assert to_chrome_trace(read_jsonl(str(jsonl_path))) == chrome
 
     def test_report_to_file(self, tmp_path, capsys):
         out_file = tmp_path / "report.md"
