@@ -1,0 +1,73 @@
+"""repro.check — the correctness harness (invariants, faults, oracles).
+
+Three pillars, composable but useful alone:
+
+* :mod:`repro.check.invariants` — a registry of pluggable checkers run
+  every event, every N events, or at pause/resume boundaries;
+* :mod:`repro.check.faults` — a seeded, schedule-controlled fault
+  injector whose corruptions replay exactly from ``(seed, plan)``;
+* :mod:`repro.check.oracles` — differential oracles replaying each
+  HORSE resume through the vanilla path and diffing queue order and
+  PELT load to the ULP.
+
+:mod:`repro.check.harness` wires them around one pause/resume cycle,
+and :mod:`repro.check.runner` drives whole checked experiments
+(``python -m repro check figure3``).
+"""
+
+from repro.check.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.check.harness import CheckHarness
+from repro.check.invariants import (
+    Checker,
+    InvariantRegistry,
+    Trigger,
+    Violation,
+    default_registry,
+    dvfs_sample_checker,
+    event_heap_checker,
+    lifecycle_checker,
+    p2sm_freshness_checker,
+    pool_checker,
+    runqueue_checker,
+)
+from repro.check.oracles import (
+    DEFAULT_MAX_ULPS,
+    ResumeSnapshot,
+    snapshot_before_resume,
+    verify_resume,
+)
+from repro.check.runner import CHECKABLE, CheckReport, check_figure3, run_check
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "CheckHarness",
+    "Checker",
+    "InvariantRegistry",
+    "Trigger",
+    "Violation",
+    "default_registry",
+    "dvfs_sample_checker",
+    "event_heap_checker",
+    "lifecycle_checker",
+    "p2sm_freshness_checker",
+    "pool_checker",
+    "runqueue_checker",
+    "DEFAULT_MAX_ULPS",
+    "ResumeSnapshot",
+    "snapshot_before_resume",
+    "verify_resume",
+    "CHECKABLE",
+    "CheckReport",
+    "check_figure3",
+    "run_check",
+]

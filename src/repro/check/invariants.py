@@ -1,0 +1,330 @@
+"""The invariant registry: pluggable, trigger-scheduled checkers.
+
+A *checker* is a callable ``f(now_ns) -> list[str]`` returning the
+invariant violations it currently observes (empty list = all sound).
+Components register checkers with the :class:`InvariantRegistry` at
+build time under one of three triggers:
+
+* ``EVERY_EVENT`` — run after every simulation event (via
+  :meth:`~repro.sim.engine.Engine.add_watcher`);
+* ``EVERY_N_EVENTS`` — run every *n*-th event;
+* ``BOUNDARY`` — run only at pause/resume boundaries, where the
+  :class:`~repro.check.harness.CheckHarness` calls
+  :meth:`InvariantRegistry.run_boundary`.
+
+Checkers never raise on corruption — they *report*.  Every reported
+violation is recorded as a :class:`Violation` carrying the ``repro.obs``
+span context it occurred under (the innermost open span, e.g. the
+harness's per-cycle span) and mirrored into the active observability
+bundle as a ``check.violation`` instant plus a ``check.violations``
+counter, so traces show exactly where a run went wrong.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.hypervisor.dvfs import sample_violations
+from repro.obs.context import Observability, current as current_obs
+from repro.sim.engine import Engine
+
+#: A checker inspects the system at *now_ns* and reports problems.
+Checker = Callable[[int], List[str]]
+
+
+class Trigger(enum.Enum):
+    """When a registered checker runs."""
+
+    EVERY_EVENT = "every-event"
+    EVERY_N_EVENTS = "every-n-events"
+    BOUNDARY = "boundary"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reported invariant/oracle violation, with span context."""
+
+    checker: str
+    message: str
+    now_ns: int
+    context: str = ""
+    span_name: Optional[str] = None
+    span_id: Optional[int] = None
+
+    def render(self) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        span = (
+            f" (span {self.span_name}#{self.span_id})"
+            if self.span_id is not None
+            else ""
+        )
+        return f"{self.checker}{where}{span}: {self.message}"
+
+
+@dataclass
+class _Entry:
+    name: str
+    checker: Checker
+    trigger: Trigger
+    every_n: int = 1
+    runs: int = 0
+
+
+class InvariantRegistry:
+    """Registered checkers plus the violations they have reported."""
+
+    def __init__(self, obs: Optional[Observability] = None) -> None:
+        self.obs = obs if obs is not None else current_obs()
+        self._entries: List[_Entry] = []
+        self._event_count = 0
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        checker: Checker,
+        trigger: Trigger = Trigger.BOUNDARY,
+        every_n: int = 1,
+    ) -> None:
+        """Register *checker* under *name* to run at *trigger* time."""
+        if every_n < 1:
+            raise ValueError(f"every_n must be >= 1, got {every_n}")
+        self._entries.append(_Entry(name, checker, trigger, every_n))
+
+    @property
+    def checker_names(self) -> List[str]:
+        return [entry.name for entry in self._entries]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_boundary(self, now_ns: int, context: str = "") -> List[Violation]:
+        """Run every checker (any trigger) at a pause/resume boundary.
+
+        Boundary runs are the full sweep: a checker scheduled per-event
+        still has something to say at a lifecycle edge.
+        """
+        found: List[Violation] = []
+        for entry in self._entries:
+            found.extend(self._run_entry(entry, now_ns, context))
+        return found
+
+    def attach(self, engine: Engine, context: str = "") -> None:
+        """Install an engine watcher honoring the per-event triggers."""
+
+        def watch(_event) -> None:
+            self._event_count += 1
+            for entry in self._entries:
+                if entry.trigger is Trigger.EVERY_EVENT or (
+                    entry.trigger is Trigger.EVERY_N_EVENTS
+                    and self._event_count % entry.every_n == 0
+                ):
+                    self._run_entry(entry, engine.now, context)
+
+        engine.add_watcher(watch)
+
+    def _run_entry(
+        self, entry: _Entry, now_ns: int, context: str
+    ) -> List[Violation]:
+        entry.runs += 1
+        return self.report(entry.name, entry.checker(now_ns), now_ns, context)
+
+    # ------------------------------------------------------------------
+    # Reporting (shared with the oracles and the fault harness)
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        checker: str,
+        messages: Iterable[str],
+        now_ns: int,
+        context: str = "",
+    ) -> List[Violation]:
+        """Turn raw messages into recorded violations with span context."""
+        recorded: List[Violation] = []
+        current = self.obs.tracer.current_span()
+        for message in messages:
+            violation = Violation(
+                checker=checker,
+                message=message,
+                now_ns=now_ns,
+                context=context,
+                span_name=current.name if current is not None else None,
+                span_id=current.span_id if current is not None else None,
+            )
+            recorded.append(violation)
+            self.violations.append(violation)
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "check.violations", "invariant/oracle violations"
+                ).inc()
+                self.obs.tracer.record_instant(
+                    "check.violation",
+                    now_ns,
+                    category="check",
+                    checker=checker,
+                    message=message,
+                    context=context,
+                )
+        return recorded
+
+    @property
+    def events_seen(self) -> int:
+        """Engine events observed through :meth:`attach` watchers."""
+        return self._event_count
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"InvariantRegistry({len(self._entries)} checkers, "
+            f"{len(self.violations)} violations)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in checker factories
+# ----------------------------------------------------------------------
+def runqueue_checker(host) -> Checker:
+    """Sortedness, size, link integrity, and load sign of every queue."""
+
+    def check(_now_ns: int) -> List[str]:
+        problems: List[str] = []
+        for runqueue in host.runqueues.values():
+            problems.extend(runqueue.invariant_violations())
+        return problems
+
+    return check
+
+
+def lifecycle_checker(host, sandboxes: Sequence) -> Checker:
+    """vCPU/sandbox lifecycle legality against actual queue residency.
+
+    * a RUNNABLE vCPU must sit on exactly the queue it claims;
+    * a PAUSED sandbox must have no vCPU on any queue;
+    * no vCPU may appear on two queues (or twice on one).
+
+    A RUNNING vCPU is legitimately off-queue (the dispatcher pops the
+    entity it puts on the core), so only RUNNABLE residency is enforced.
+    """
+    from repro.hypervisor.sandbox import SandboxState
+    from repro.hypervisor.vcpu import VcpuState
+
+    def check(_now_ns: int) -> List[str]:
+        problems: List[str] = []
+        placement = {}
+        for runqueue in host.runqueues.values():
+            if runqueue.entities.structure_errors():
+                continue  # the runqueue checker owns broken links
+            for vcpu in runqueue.entities:
+                if vcpu.vcpu_id in placement:
+                    problems.append(
+                        f"vCPU #{vcpu.vcpu_id} on queues "
+                        f"{placement[vcpu.vcpu_id]} and {runqueue.runqueue_id}"
+                    )
+                placement[vcpu.vcpu_id] = runqueue.runqueue_id
+        for sandbox in sandboxes:
+            for vcpu in sandbox.vcpus:
+                queued = placement.get(vcpu.vcpu_id)
+                if sandbox.state is SandboxState.PAUSED and queued is not None:
+                    problems.append(
+                        f"{sandbox.sandbox_id} is paused but vCPU "
+                        f"#{vcpu.vcpu_id} still sits on queue {queued}"
+                    )
+                if vcpu.state is VcpuState.RUNNABLE:
+                    if queued is None:
+                        problems.append(
+                            f"vCPU #{vcpu.vcpu_id} ({sandbox.sandbox_id}) is "
+                            f"runnable but on no queue"
+                        )
+                    elif queued != vcpu.runqueue_id:
+                        problems.append(
+                            f"vCPU #{vcpu.vcpu_id} claims queue "
+                            f"{vcpu.runqueue_id} but sits on {queued}"
+                        )
+        return problems
+
+    return check
+
+
+def event_heap_checker(engine: Engine) -> Checker:
+    """Event-heap monotonicity: nothing pending may precede *now*."""
+
+    def check(now_ns: int) -> List[str]:
+        problems: List[str] = []
+        for event in engine.pending_events():
+            if event.time < engine.now:
+                problems.append(
+                    f"event {event.label or event.sequence!r} scheduled at "
+                    f"{event.time} ns, before now={engine.now} ns"
+                )
+        return problems
+
+    return check
+
+
+def pool_checker(pool) -> Checker:
+    """Warm-pool accounting (paused-only storage, timer consistency)."""
+
+    def check(_now_ns: int) -> List[str]:
+        return pool.invariant_violations()
+
+    return check
+
+
+def p2sm_freshness_checker(ull_manager) -> Checker:
+    """arrayB/posA of every tied sandbox must match its queue's state."""
+
+    def check(_now_ns: int) -> List[str]:
+        return ull_manager.check_freshness()
+
+    return check
+
+
+def dvfs_sample_checker(host) -> Checker:
+    """No queue's load sample may come from a skewed (future) clock."""
+
+    def check(now_ns: int) -> List[str]:
+        return sample_violations(host.runqueues.values(), now_ns)
+
+    return check
+
+
+def default_registry(
+    host=None,
+    sandboxes: Optional[Sequence] = None,
+    engine: Optional[Engine] = None,
+    pool=None,
+    ull_manager=None,
+    obs: Optional[Observability] = None,
+) -> InvariantRegistry:
+    """A registry with every applicable built-in checker registered.
+
+    Pass whichever components exist; the registry only wires checkers
+    for what it is given.  All built-ins register at the BOUNDARY
+    trigger; callers wanting per-event coverage re-register or call
+    :meth:`InvariantRegistry.attach` after switching triggers.
+    """
+    registry = InvariantRegistry(obs=obs)
+    if host is not None:
+        registry.register("invariant.runqueue", runqueue_checker(host))
+        registry.register("invariant.dvfs_clock", dvfs_sample_checker(host))
+        if sandboxes is not None:
+            registry.register(
+                "invariant.lifecycle", lifecycle_checker(host, sandboxes)
+            )
+    if engine is not None:
+        registry.register("invariant.event_heap", event_heap_checker(engine))
+    if pool is not None:
+        registry.register("invariant.pool", pool_checker(pool))
+    if ull_manager is not None:
+        registry.register(
+            "invariant.p2sm_freshness", p2sm_freshness_checker(ull_manager)
+        )
+    return registry

@@ -1,0 +1,179 @@
+"""Differential resume oracles.
+
+The fast path's whole claim is *semantic equivalence*: a HORSE resume
+must leave the run queue and its tracked load exactly as the vanilla
+path would have on the same pause state.  The oracle checks that claim
+after every checked resume by replaying the captured pre-resume state
+through shadow structures running the vanilla algorithms:
+
+* **queue order** — the pre-resume queue contents plus the sandbox's
+  vCPUs are replayed through vanilla per-element ``insert_sorted`` on a
+  shadow :class:`~repro.core.linked_list.SortedLinkedList`; the
+  resulting vCPU-id sequence must match the real queue exactly
+  (including FIFO order among equal keys);
+* **load** — the fused coalesced update must be *bit-identical* (0 ULP)
+  to the independently recomputed closed form, and within a small ULP
+  budget of the n-fold iterated PELT reference (a different operation
+  order legitimately rounds differently; empirically the gap is <= 5
+  ULPs for n <= 64, so the default budget of 16 has slack without
+  masking real corruption).  When coalescing is off, the iterated
+  replay performs the very same float operations and must match
+  bit-for-bit.
+
+Shadows are built from captured scalars, never aliases into live
+structures, so a corrupted queue cannot corrupt its own oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.coalesce import CoalescedUpdate, ulps_apart
+from repro.core.hot_resume import HorsePauseResume
+from repro.core.linked_list import SortedLinkedList
+from repro.hypervisor.load_tracking import (
+    DEFAULT_ENTITY_WEIGHT,
+    RunqueueLoad,
+)
+from repro.hypervisor.sandbox import Sandbox
+
+#: Allowed ULP distance between the coalesced result and the n-fold
+#: iterated reference (see module docstring for the calibration).
+DEFAULT_MAX_ULPS = 16
+
+
+@dataclass
+class ResumeSnapshot:
+    """Pre-resume state captured for the differential replay."""
+
+    sandbox_id: str
+    queue_id: int
+    #: (vcpu_id, sort_key) for every entity on the queue, in queue order
+    pre_order: List[Tuple[int, float]]
+    #: (vcpu_id, sort_key) for the sandbox's vCPUs, presorted by key
+    merge_order: List[Tuple[int, float]]
+    #: vCPU weights in sandbox order (the per-vCPU fold order of the
+    #: non-coalesced step 5, which the iterated reference replays)
+    weights: List[float]
+    load_value: float
+    load_last_update_ns: int
+    coalescing_enabled: bool
+    p2sm_enabled: bool
+
+
+def snapshot_before_resume(
+    horse: HorsePauseResume, sandbox: Sandbox
+) -> Optional[ResumeSnapshot]:
+    """Capture everything the oracle needs, just before a HORSE resume.
+
+    Returns None when the sandbox has no pause-time queue assignment
+    (e.g. it was paused through the vanilla path), in which case the
+    differential oracle does not apply.
+    """
+    queue_id = sandbox.assigned_ull_runqueue
+    if queue_id is None:
+        return None
+    queue = horse.ull.queue(queue_id)
+    key = queue.sort_key
+    merge_vcpus = (
+        sandbox.merge_vcpus
+        if sandbox.merge_vcpus is not None
+        else sorted(sandbox.vcpus, key=key)
+    )
+    return ResumeSnapshot(
+        sandbox_id=sandbox.sandbox_id,
+        queue_id=queue_id,
+        pre_order=[(v.vcpu_id, key(v)) for v in queue.entities],
+        merge_order=[(v.vcpu_id, key(v)) for v in merge_vcpus],
+        weights=[v.weight for v in sandbox.vcpus],
+        load_value=queue.load.value,
+        load_last_update_ns=queue.load.last_update_ns,
+        coalescing_enabled=horse.config.enable_coalescing,
+        p2sm_enabled=horse.config.enable_p2sm,
+    )
+
+
+def _expected_order(snapshot: ResumeSnapshot) -> List[int]:
+    """Vanilla replay: per-element sorted inserts on a shadow list."""
+    shadow: SortedLinkedList[Tuple[int, float]] = SortedLinkedList(
+        key=lambda pair: pair[1]
+    )
+    for pair in snapshot.pre_order:
+        shadow.insert_sorted(pair)
+    for pair in snapshot.merge_order:
+        shadow.insert_sorted(pair)
+    return [vcpu_id for vcpu_id, _key in shadow]
+
+
+def _shadow_load(snapshot: ResumeSnapshot) -> RunqueueLoad:
+    return RunqueueLoad(
+        value=snapshot.load_value,
+        last_update_ns=snapshot.load_last_update_ns,
+    )
+
+
+def verify_resume(
+    snapshot: ResumeSnapshot,
+    horse: HorsePauseResume,
+    now_ns: int,
+    max_ulps: int = DEFAULT_MAX_ULPS,
+) -> List[str]:
+    """Diff the post-resume queue against the vanilla replay.
+
+    Returns violation messages (empty = the fast path was semantically
+    identical to the vanilla path on this pause state).
+    """
+    problems: List[str] = []
+    queue = horse.ull.queue(snapshot.queue_id)
+    prefix = f"{snapshot.sandbox_id} -> queue {snapshot.queue_id}"
+
+    # ---- order oracle -------------------------------------------------
+    if queue.entities.structure_errors():
+        problems.append(
+            f"{prefix}: post-merge queue structurally corrupt, "
+            f"order oracle cannot replay"
+        )
+        actual_order = None
+    else:
+        actual_order = [vcpu.vcpu_id for vcpu in queue.entities]
+    expected_order = _expected_order(snapshot)
+    if actual_order is not None and actual_order != expected_order:
+        problems.append(
+            f"{prefix}: post-merge order diverges from the vanilla "
+            f"replay: got {actual_order}, vanilla yields {expected_order}"
+        )
+
+    # ---- load oracle --------------------------------------------------
+    actual_load = queue.load.value
+    n = len(snapshot.weights)
+    iterated = _shadow_load(snapshot)
+    for weight in snapshot.weights:
+        iterated.enqueue_entity(now_ns, weight)
+    if snapshot.coalescing_enabled:
+        # The fused update must equal the independently recomputed
+        # closed form bit-for-bit: same scalars, same two float ops.
+        closed = _shadow_load(snapshot)
+        template = closed.enqueue_update(DEFAULT_ENTITY_WEIGHT)
+        update = CoalescedUpdate.precompute(template.alpha, template.beta, n)
+        closed.apply_coalesced(now_ns, update.alpha_n, update.beta_sum)
+        if ulps_apart(actual_load, closed.value) != 0:
+            problems.append(
+                f"{prefix}: coalesced load {actual_load!r} is not "
+                f"bit-identical to the closed form {closed.value!r}"
+            )
+        distance = ulps_apart(actual_load, iterated.value)
+        if distance > max_ulps:
+            problems.append(
+                f"{prefix}: coalesced load {actual_load!r} is {distance} "
+                f"ULPs from the {n}-fold iterated reference "
+                f"{iterated.value!r} (budget {max_ulps})"
+            )
+    else:
+        # Iterated path: identical float operations, exact match only.
+        if ulps_apart(actual_load, iterated.value) != 0:
+            problems.append(
+                f"{prefix}: iterated load {actual_load!r} diverges from "
+                f"the vanilla replay {iterated.value!r}"
+            )
+    return problems

@@ -6,6 +6,8 @@ Commands:
 * ``experiment``   — run one paper artifact and print its table/series;
 * ``trace``        — run one artifact under the observability layer and
   export Perfetto-loadable Chrome JSON + lossless JSONL traces;
+* ``check``        — run one artifact under the correctness harness
+  (invariants + differential oracles, optional fault injection);
 * ``demo``         — the quickstart comparison of the four start paths;
 * ``list``         — list the available experiment ids.
 """
@@ -161,6 +163,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run one experiment under the correctness harness.
+
+    Exit status 0 means every invariant held and every differential
+    oracle agreed (and, with ``--fault``, that each planned fault found
+    an eligible cycle); 1 means violations were reported — which is the
+    *expected* outcome of a fault-injection run.
+    """
+    from repro.check import CHECKABLE, FaultPlan, FaultSpec, run_check
+    from repro.obs import MetricRegistry, Observability, Tracer, activate
+
+    if args.name not in CHECKABLE:
+        print(
+            f"experiment {args.name!r} has no checked runner; "
+            f"choose from {', '.join(CHECKABLE)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        fault_plan = (
+            FaultPlan(
+                seed=args.seed,
+                specs=tuple(FaultSpec(kind) for kind in args.fault),
+            )
+            if args.fault
+            else None
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    obs = Observability(Tracer(), MetricRegistry())
+    with activate(obs):
+        report = run_check(
+            args.name,
+            fast=args.fast,
+            platform=args.platform,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            max_ulps=args.max_ulps,
+            obs=obs,
+        )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, description in sorted(EXPERIMENTS.items()):
         print(f"{name:12s} {description}")
@@ -229,6 +276,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for <name>.trace.json / <name>.trace.jsonl",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    check = subparsers.add_parser(
+        "check",
+        help="run one artifact under the correctness harness "
+        "(invariants, differential oracles, fault injection)",
+    )
+    check.add_argument("name", help="checkable experiment id (figure3)")
+    check.add_argument("--fast", action="store_true")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--platform", choices=("firecracker", "xen"), default="firecracker",
+        help="hypervisor model (the paper evaluated both)",
+    )
+    check.add_argument(
+        "--fault", action="append", default=[], metavar="KIND",
+        help="inject a fault (repeatable): stale_arrayb, stale_posa, "
+        "skip_merge_thread, drop_coalesced, clock_skew, "
+        "pause_during_resume",
+    )
+    check.add_argument(
+        "--max-ulps", type=int, default=16,
+        help="ULP budget for the coalesced-vs-iterated load comparison",
+    )
+    check.set_defaults(func=_cmd_check)
 
     lister = subparsers.add_parser("list", help="list experiment ids")
     lister.set_defaults(func=_cmd_list)

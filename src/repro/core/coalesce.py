@@ -22,6 +22,8 @@ paper and is documented in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
+import struct
 from dataclasses import dataclass
 
 
@@ -68,6 +70,30 @@ class CoalescedUpdate:
     def apply(self, x: float) -> float:
         """Apply the fused update: one multiply, one add."""
         return self.alpha_n * x + self.beta_sum
+
+
+def ulps_apart(a: float, b: float) -> int:
+    """Distance between two floats in units of least precision.
+
+    0 means bit-identical (also for ``-0.0`` vs ``0.0``).  Used by the
+    differential oracles: the fused coalesced update must equal the
+    closed form *exactly* (0 ULP — they are the same float expression),
+    while the n-fold iterated reference is allowed a small budget since
+    a different operation order rounds differently.  NaNs and opposite
+    signs are treated as maximally far apart.
+    """
+    if a == b:
+        return 0
+    if math.isnan(a) or math.isnan(b):
+        return (1 << 63) - 1
+    ia = struct.unpack("<q", struct.pack("<d", a))[0]
+    ib = struct.unpack("<q", struct.pack("<d", b))[0]
+    # Map the sign-magnitude float ordering onto a monotone integer line.
+    if ia < 0:
+        ia = -(ia & ((1 << 63) - 1))
+    if ib < 0:
+        ib = -(ib & ((1 << 63) - 1))
+    return abs(ia - ib)
 
 
 def apply_n_times(update: AffineUpdate, x: float, n: int) -> float:

@@ -30,7 +30,7 @@ thread, threads run concurrently), and a single fused load update.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.coalesce import CoalescedUpdate
 from repro.core.p2sm import MergeReport, P2SMState, sorted_merge_reference
@@ -48,6 +48,7 @@ from repro.hypervisor.pause_resume import (
     PauseResult,
     ResumeResult,
 )
+from repro.hypervisor.runqueue import RunQueue
 from repro.hypervisor.sandbox import Sandbox, SandboxState
 from repro.hypervisor.scheduler.base import SchedulerPolicy
 from repro.metrics.recorder import Breakdown
@@ -114,6 +115,14 @@ class HorsePauseResume:
         self.ull = ull_manager or UllRunqueueManager(host)
         self.resumes = 0
         self.pauses = 0
+        #: Optional callable fired between step 4 (merge) and step 5
+        #: (load update) as ``f(sandbox, queue, now_ns)``.  This is the
+        #: window the paper's global resume lock protects in vanilla;
+        #: repro.check's fault injector uses it to model concurrent
+        #: mutations racing the trimmed fast path.
+        self.mid_resume_hook: Optional[
+            Callable[[Sandbox, "RunQueue", int], None]
+        ] = None
 
     # ------------------------------------------------------------------
     # Pause: dequeue + precompute
@@ -303,6 +312,9 @@ class HorsePauseResume:
                 STEP_MERGE,
                 round(self.costs.merge_cost_ns(sandbox.vcpu_count, scan_steps)),
             )
+
+        if self.mid_resume_hook is not None:
+            self.mid_resume_hook(sandbox, queue, now_ns)
 
         # Step 5: load update — fused or per-vCPU.
         if self.config.enable_coalescing:

@@ -215,6 +215,42 @@ class SortedLinkedList(Generic[T]):
         """True when the cached size equals the walked node count."""
         return sum(1 for _ in self) == self._size
 
+    def structure_errors(self) -> List[str]:
+        """Structural problems as human-readable strings (empty = sound).
+
+        One cycle-safe walk checks link integrity (no cycle, no node
+        chain longer than the size counter admits), the size counter,
+        and sortedness.  Unlike :meth:`is_sorted`/:meth:`check_size`,
+        this cannot loop forever on a corrupted list, so it is safe to
+        call on state a fault injector has deliberately mangled.
+        """
+        errors: List[str] = []
+        limit = self._size + 1
+        walked = 0
+        previous_key: Optional[float] = None
+        node = self.head.next
+        while node is not None:
+            walked += 1
+            if walked > limit:
+                errors.append(
+                    f"link corruption: walked {walked} nodes but size "
+                    f"counter is {self._size} (cycle or lost splice)"
+                )
+                return errors
+            current = self._key(node.value)
+            if previous_key is not None and current < previous_key:
+                errors.append(
+                    f"order violated at node {walked}: key {current!r} "
+                    f"after {previous_key!r}"
+                )
+            previous_key = current
+            node = node.next
+        if walked != self._size:
+            errors.append(
+                f"size counter drifted: walked {walked}, cached {self._size}"
+            )
+        return errors
+
     def reset_scan_counter(self) -> int:
         """Return and zero ``scan_steps`` (cost-model bookkeeping)."""
         steps, self.scan_steps = self.scan_steps, 0

@@ -181,6 +181,65 @@ class P2SMState(Generic[T]):
         self.refresh()
 
     # ------------------------------------------------------------------
+    # Freshness verification (repro.check)
+    # ------------------------------------------------------------------
+    def verify_against_target(self) -> List[str]:
+        """Staleness problems in arrayB/posA, as messages (empty = fresh).
+
+        Recomputes what the precomputation *should* hold against the
+        target's current state and diffs: arrayB must alias the target's
+        nodes position-for-position (index 0 the sentinel), and every
+        posA bucket must sit at the insertion position a fresh scan
+        would assign its chain.  A stale structure here is exactly the
+        corruption a delayed refresh (or a fault injector) produces —
+        merging through it splices chains after unlinked or wrong nodes.
+        """
+        errors: List[str] = []
+        expected_nodes = [self._target.head] + list(self._target.nodes())
+        if len(self.array_b) != len(expected_nodes):
+            errors.append(
+                f"arrayB has {len(self.array_b)} entries, target has "
+                f"{len(expected_nodes)} positions"
+            )
+        else:
+            for position, (cached, live) in enumerate(
+                zip(self.array_b, expected_nodes)
+            ):
+                if cached is not live:
+                    errors.append(
+                        f"arrayB[{position}] references a node no longer at "
+                        f"that position of the target"
+                    )
+                    break
+        # Recompute the bucket each A value belongs to and diff posA.
+        b_keys = [self._key(node.value) for node in self._target.nodes()]
+        expected_buckets: Dict[int, List[T]] = {}
+        position = 0
+        for value in self.values_a:
+            value_key = self._key(value)
+            while position < len(b_keys) and b_keys[position] <= value_key:
+                position += 1
+            expected_buckets.setdefault(position, []).append(value)
+        if sorted(self.pos_a) != sorted(expected_buckets):
+            errors.append(
+                f"posA keys {sorted(self.pos_a)} != fresh scan's "
+                f"{sorted(expected_buckets)}"
+            )
+        else:
+            for key, chain in self.pos_a.items():
+                cached_values = chain.values()
+                if len(cached_values) != chain.length:
+                    errors.append(
+                        f"posA[{key}] chain length {chain.length} but "
+                        f"{len(cached_values)} reachable nodes"
+                    )
+                elif cached_values != expected_buckets[key]:
+                    errors.append(
+                        f"posA[{key}] chain does not match a fresh scan"
+                    )
+        return errors
+
+    # ------------------------------------------------------------------
     # Merge phase (Algorithm 1)
     # ------------------------------------------------------------------
     def merge(self) -> MergeReport:

@@ -129,6 +129,32 @@ class UllRunqueueManager:
         self.refresh_entries_touched += entries
         return entries
 
+    def check_freshness(self) -> List[str]:
+        """Staleness across every tied sandbox's P2SM state (repro.check).
+
+        Verifies each assigned sandbox's arrayB/posA against its queue's
+        *current* contents — the invariant "the updates are performed
+        each time ull_runqueue is updated" promises.  Also cross-checks
+        the assignment table against the sandbox attributes.
+        """
+        problems: List[str] = []
+        for queue_id, members in self._assignments.items():
+            for sandbox in members:
+                if sandbox.assigned_ull_runqueue != queue_id:
+                    problems.append(
+                        f"{sandbox.sandbox_id}: assignment table says queue "
+                        f"{queue_id}, sandbox says "
+                        f"{sandbox.assigned_ull_runqueue}"
+                    )
+                state: Optional[P2SMState] = sandbox.p2sm_state
+                if state is None:
+                    continue
+                problems.extend(
+                    f"{sandbox.sandbox_id} on queue {queue_id}: {error}"
+                    for error in state.verify_against_target()
+                )
+        return problems
+
     # ------------------------------------------------------------------
     def total_precompute_bytes(self) -> int:
         """Live modeled footprint of all tied sandboxes' P2SM state."""

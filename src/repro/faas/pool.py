@@ -143,6 +143,46 @@ class SandboxPool:
         if self._on_evict is not None:
             self._on_evict(function_name, sandbox)
 
+    # ------------------------------------------------------------------
+    # Invariants (repro.check)
+    # ------------------------------------------------------------------
+    def invariant_violations(self) -> List[str]:
+        """Pool accounting problems, as messages (empty = sound).
+
+        The pool's contract: it stores only PAUSED sandboxes, stores
+        each at most once, and every armed eviction timer points at a
+        sandbox that is actually idle in the pool.
+        """
+        violations: List[str] = []
+        seen: Dict[str, str] = {}
+        for function_name, queue in self._idle.items():
+            for sandbox in queue:
+                if sandbox.state is not SandboxState.PAUSED:
+                    violations.append(
+                        f"pool[{function_name}]: {sandbox.sandbox_id} is "
+                        f"{sandbox.state.value}, pool only stores paused"
+                    )
+                if sandbox.sandbox_id in seen:
+                    violations.append(
+                        f"pool: {sandbox.sandbox_id} pooled under both "
+                        f"{seen[sandbox.sandbox_id]!r} and {function_name!r}"
+                    )
+                seen[sandbox.sandbox_id] = function_name
+        for sandbox_id, event in self._eviction_events.items():
+            if event.cancelled:
+                continue
+            if sandbox_id not in seen:
+                violations.append(
+                    f"pool: eviction timer armed for {sandbox_id} which is "
+                    f"not idle in the pool"
+                )
+        for function_name, count in self._provisioned.items():
+            if count < 0:
+                violations.append(
+                    f"pool[{function_name}]: negative provisioned count {count}"
+                )
+        return violations
+
     def __repr__(self) -> str:
         sizes = {name: len(q) for name, q in self._idle.items() if q}
         return f"SandboxPool({sizes}, hits={self.hits}, misses={self.misses})"

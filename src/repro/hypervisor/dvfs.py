@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterable, List
 
 from repro.hypervisor.load_tracking import DEFAULT_ENTITY_WEIGHT
 from repro.obs.context import NULL_OBS, Observability
@@ -83,3 +84,23 @@ class DvfsGovernor:
             f"DvfsGovernor({self.mode.value}, "
             f"{self.frequency.min_khz}-{self.frequency.max_khz} kHz)"
         )
+
+
+def sample_violations(runqueues: Iterable, now_ns: int) -> List[str]:
+    """Clock-sanity problems in the loads a governor would sample.
+
+    The governor's input is each queue's tracked load; a load whose
+    ``last_update_ns`` sits *ahead* of the present means some update ran
+    on a skewed clock — the next ``decay_to`` will either raise or decay
+    by a negative period, and every frequency decision in between reads
+    a sample from the future.  Used by the ``repro.check`` registry.
+    """
+    violations: List[str] = []
+    for runqueue in runqueues:
+        if runqueue.load.last_update_ns > now_ns:
+            violations.append(
+                f"runqueue {runqueue.runqueue_id}: load sampled at "
+                f"{runqueue.load.last_update_ns} ns, ahead of now={now_ns} ns "
+                f"(clock-skewed DVFS input)"
+            )
+    return violations

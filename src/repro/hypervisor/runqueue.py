@@ -112,22 +112,32 @@ class RunQueue:
     # ------------------------------------------------------------------
     # Invariants (tests + debug)
     # ------------------------------------------------------------------
+    def invariant_violations(self) -> List[str]:
+        """Every broken structural invariant, as messages (empty = sound).
+
+        Non-raising twin of :meth:`check_invariants`, used by the
+        ``repro.check`` registry so a corrupted queue is *reported*
+        rather than aborting the run.  The underlying walk is
+        cycle-safe, so this is callable on fault-injected state.
+        """
+        prefix = f"runqueue {self.runqueue_id}"
+        violations = [
+            f"{prefix}: {error}" for error in self.entities.structure_errors()
+        ]
+        if not violations:  # membership walk only when links are sound
+            for vcpu in self.entities:
+                if vcpu.runqueue_id != self.runqueue_id:
+                    violations.append(
+                        f"{prefix}: {vcpu!r} claims queue {vcpu.runqueue_id}"
+                    )
+        if self.load.value < 0.0:
+            violations.append(f"{prefix}: negative load {self.load.value}")
+        return violations
+
     def check_invariants(self) -> None:
         """Raise AssertionError when a structural invariant is broken."""
-        assert self.entities.is_sorted(), (
-            f"runqueue {self.runqueue_id}: entities out of order"
-        )
-        assert self.entities.check_size(), (
-            f"runqueue {self.runqueue_id}: size counter drifted"
-        )
-        for vcpu in self.entities:
-            assert vcpu.runqueue_id == self.runqueue_id, (
-                f"runqueue {self.runqueue_id}: {vcpu!r} claims queue "
-                f"{vcpu.runqueue_id}"
-            )
-        assert self.load.value >= 0.0, (
-            f"runqueue {self.runqueue_id}: negative load {self.load.value}"
-        )
+        violations = self.invariant_violations()
+        assert not violations, "; ".join(violations)
 
     def __repr__(self) -> str:
         kind = "ull" if self.reserved_for_ull else "general"

@@ -321,6 +321,15 @@ class Tracer:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        """The innermost still-open span, or None outside any span.
+
+        This is the span context repro.check attaches to reported
+        violations: a violation found inside a checked cycle names the
+        cycle span it occurred under.
+        """
+        return self._stack[-1].span if self._stack else None
+
     def __len__(self) -> int:
         return len(self.spans)
 

@@ -31,6 +31,9 @@ class Engine:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        #: callbacks invoked as f(event) after each executed event —
+        #: how the repro.check invariant registry observes every step.
+        self._watchers: list[Callable[[Event], None]] = []
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -113,6 +116,9 @@ class Engine:
                 event.callback()
                 executed += 1
                 self._events_executed += 1
+                if self._watchers:
+                    for watcher in self._watchers:
+                        watcher(event)
         finally:
             self._running = False
         if until is not None and self.clock.now < until:
@@ -132,6 +138,20 @@ class Engine:
     def pending_events(self) -> Iterable[Event]:
         """Snapshot of non-cancelled pending events (unsorted)."""
         return [event for event in self._heap if not event.cancelled]
+
+    def add_watcher(self, watcher: Callable[[Event], None]) -> None:
+        """Call *watcher(event)* after every executed event.
+
+        Watchers must not schedule or mutate simulation state; they
+        exist for cross-cutting observation (invariant checking, test
+        assertions).  An idle engine pays nothing for an empty list.
+        """
+        self._watchers.append(watcher)
+
+    def remove_watcher(self, watcher: Callable[[Event], None]) -> None:
+        """Detach a previously added watcher (no-op if absent)."""
+        if watcher in self._watchers:
+            self._watchers.remove(watcher)
 
     def stop(self) -> None:
         """Permanently stop the engine; further scheduling raises."""

@@ -1,0 +1,36 @@
+"""The ``python -m repro check`` command."""
+
+from repro.cli import main
+
+
+class TestCheckCommand:
+    def test_clean_check_exits_zero_and_reports(self, capsys):
+        code = main(["check", "figure3", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pause/resume cycles" in out
+        assert "all invariants held" in out
+
+    def test_fault_run_exits_one_with_span_context(self, capsys):
+        code = main(
+            ["check", "figure3", "--fast", "--fault", "skip_merge_thread"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "injected faults:" in out
+        assert "skip_merge_thread" in out
+        assert "violations:" in out
+        # Span context from the per-cycle check.cycle span.
+        assert "span check.cycle#" in out
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        code = main(["check", "figure9"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no checked runner" in err
+
+    def test_unknown_fault_kind_is_a_clean_error(self, capsys):
+        code = main(["check", "figure3", "--fast", "--fault", "nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown fault kind" in err

@@ -1,0 +1,55 @@
+"""Determinism regression: same seed, byte-identical traces.
+
+The engine's contract says a run is bit-for-bit reproducible from the
+schedule and the seeds.  The strongest cheap probe of that contract is
+the exported JSONL trace: every span, every attribute, every ordering
+decision funnels into it.  Two *separate processes* must produce
+byte-identical files — separate processes because the sandbox/vCPU id
+counters are process-global, so an in-process rerun would trivially
+differ.
+"""
+
+import filecmp
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_traced_figure3(out_dir: Path) -> Path:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "trace", "figure3",
+            "--fast", "--seed", "0", "--out-dir", str(out_dir),
+        ],
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    return out_dir / "figure3.trace.jsonl"
+
+
+class TestTraceDeterminism:
+    def test_two_runs_same_seed_byte_identical_jsonl(self, tmp_path):
+        first = run_traced_figure3(tmp_path / "run1")
+        second = run_traced_figure3(tmp_path / "run2")
+        assert first.exists() and second.exists()
+        assert first.stat().st_size > 0
+        assert filecmp.cmp(first, second, shallow=False), (
+            "same seed produced different JSONL traces — "
+            "nondeterminism crept into the resume hot path"
+        )
+        # The Chrome JSON export must be deterministic too.
+        assert filecmp.cmp(
+            tmp_path / "run1" / "figure3.trace.json",
+            tmp_path / "run2" / "figure3.trace.json",
+            shallow=False,
+        )

@@ -1,0 +1,129 @@
+"""Differential resume oracles: shadow replay of order and load."""
+
+import pytest
+
+from repro.check import (
+    DEFAULT_MAX_ULPS,
+    snapshot_before_resume,
+    verify_resume,
+)
+from repro.core.coalesce import CoalescedUpdate, ulps_apart
+from repro.core.hot_resume import HorseConfig, HorsePauseResume
+from repro.hypervisor.platform import firecracker_platform
+from repro.hypervisor.sandbox import Sandbox
+
+
+def paused_on_populated_queue(config=None, vcpus=3):
+    """A HORSE-paused sandbox whose reserved queue already holds a
+    resident sandbox's vCPUs (the interesting merge case)."""
+    virt = firecracker_platform()
+    horse = HorsePauseResume(
+        virt.host, virt.policy, virt.costs,
+        config=config or HorseConfig.full(),
+    )
+    resident = Sandbox(vcpus=2, memory_mb=64, is_ull=True)
+    virt.vanilla.place_initial(resident, 0)
+    horse.pause(resident, 0)
+    horse.resume(resident, 0)
+    target = Sandbox(vcpus=vcpus, memory_mb=64, is_ull=True)
+    virt.vanilla.place_initial(target, 0)
+    horse.pause(target, 0)
+    return horse, target
+
+
+class TestSnapshot:
+    def test_snapshot_captures_pre_state(self):
+        horse, target = paused_on_populated_queue()
+        snapshot = snapshot_before_resume(horse, target)
+        assert snapshot is not None
+        assert snapshot.sandbox_id == target.sandbox_id
+        assert len(snapshot.pre_order) == 2   # the resident's vCPUs
+        assert len(snapshot.merge_order) == 3
+        assert len(snapshot.weights) == 3
+        assert snapshot.coalescing_enabled and snapshot.p2sm_enabled
+
+    def test_unassigned_sandbox_yields_no_snapshot(self):
+        virt = firecracker_platform()
+        horse = HorsePauseResume(virt.host, virt.policy, virt.costs)
+        sandbox = Sandbox(vcpus=1, memory_mb=64, is_ull=True)
+        virt.vanilla.place_initial(sandbox, 0)
+        virt.vanilla.pause(sandbox, 0)  # vanilla pause: no assignment
+        assert snapshot_before_resume(horse, sandbox) is None
+
+
+class TestVerify:
+    @pytest.mark.parametrize(
+        "config",
+        [HorseConfig.full(), HorseConfig.ppsm_only(), HorseConfig.coalescing_only()],
+        ids=["horse", "ppsm", "coal"],
+    )
+    def test_clean_resume_passes_both_oracles(self, config):
+        horse, target = paused_on_populated_queue(config)
+        snapshot = snapshot_before_resume(horse, target)
+        horse.resume(target, 0)
+        assert verify_resume(snapshot, horse, 0) == []
+
+    def test_order_oracle_catches_a_shuffled_queue(self):
+        horse, target = paused_on_populated_queue()
+        snapshot = snapshot_before_resume(horse, target)
+        horse.resume(target, 0)
+        queue = horse.ull.queue(snapshot.queue_id)
+        # All keys are equal here, so re-inserting the head lands it
+        # after its equals: still sorted, but FIFO order is broken.
+        first = queue.entities.pop_first()
+        queue.entities.insert_sorted(first)
+        problems = verify_resume(snapshot, horse, 0)
+        assert any("order diverges" in p for p in problems)
+
+    def test_order_oracle_reports_structural_corruption(self):
+        horse, target = paused_on_populated_queue()
+        snapshot = snapshot_before_resume(horse, target)
+        horse.resume(target, 0)
+        queue = horse.ull.queue(snapshot.queue_id)
+        queue.entities._size += 2
+        problems = verify_resume(snapshot, horse, 0)
+        assert any("structurally corrupt" in p for p in problems)
+
+    def test_load_oracle_catches_a_perturbed_coalesced_load(self):
+        horse, target = paused_on_populated_queue()
+        snapshot = snapshot_before_resume(horse, target)
+        horse.resume(target, 0)
+        queue = horse.ull.queue(snapshot.queue_id)
+        queue.load.value += 1.0e-6
+        problems = verify_resume(snapshot, horse, 0)
+        assert any("not" in p and "bit-identical" in p for p in problems)
+
+    def test_load_oracle_exact_for_iterated_path(self):
+        horse, target = paused_on_populated_queue(HorseConfig.ppsm_only())
+        snapshot = snapshot_before_resume(horse, target)
+        horse.resume(target, 0)
+        queue = horse.ull.queue(snapshot.queue_id)
+        # Even a 1-ULP nudge must be flagged on the iterated path.
+        import math
+        queue.load.value = math.nextafter(queue.load.value, math.inf)
+        problems = verify_resume(snapshot, horse, 0)
+        assert any("diverges from" in p for p in problems)
+
+
+class TestUlps:
+    def test_identical_floats_are_zero_apart(self):
+        assert ulps_apart(1.5, 1.5) == 0
+        assert ulps_apart(0.0, -0.0) == 0
+
+    def test_adjacent_floats_are_one_apart(self):
+        import math
+        x = 1234.5678
+        assert ulps_apart(x, math.nextafter(x, math.inf)) == 1
+        assert ulps_apart(x, math.nextafter(x, -math.inf)) == 1
+
+    def test_nan_is_maximally_far(self):
+        assert ulps_apart(float("nan"), 1.0) > DEFAULT_MAX_ULPS
+
+    def test_sign_straddle_counts_through_zero(self):
+        import math
+        tiny = math.ulp(0.0)
+        assert ulps_apart(tiny, -tiny) == 2
+
+    def test_identity_update_means_no_fold(self):
+        update = CoalescedUpdate(alpha_n=1.0, beta_sum=0.0, n=4)
+        assert update.apply(123.25) == 123.25

@@ -155,3 +155,92 @@ class TestConfigurationVariants:
         check_global_invariants(virt, sandboxes, horse)
         for sandbox in sandboxes:
             assert all(v.state is VcpuState.RUNNABLE for v in sandbox.vcpus)
+
+
+class TestDifferentialResume500:
+    """Satellite differential suite: 500 seeded cases per property.
+
+    Case generation is fully deterministic (RngRegistry streams), so a
+    failure reproduces from the case index alone.
+    """
+
+    CASES = 500
+
+    def test_500_resumes_match_the_vanilla_replay(self):
+        """vanilla vs P2SM merge: for 500 randomized pause states the
+        post-resume queue order must equal the vanilla per-element
+        insert replay, and the load must match to the oracle's ULP
+        budget (coalesced) or exactly (iterated)."""
+        from repro.check import snapshot_before_resume, verify_resume
+        from repro.sim.rng import RngRegistry
+
+        configs = [
+            HorseConfig.full(),
+            HorseConfig.ppsm_only(),
+            HorseConfig.coalescing_only(),
+        ]
+        rng = RngRegistry(1234).stream("diff500")
+        virt = firecracker_platform(reserved_ull_cores=2)
+        horse = HorsePauseResume(virt.host, virt.policy, virt.costs)
+        for case in range(self.CASES):
+            config = configs[case % len(configs)]
+            horse.config = config
+            # Randomized pause state: a fresh target sandbox amid a few
+            # residents already resumed onto the reserved queues, all
+            # with randomized vruntimes (the CFS sort key).
+            residents = []
+            for _ in range(rng.randrange(3)):
+                resident = Sandbox(vcpus=rng.randrange(1, 4), memory_mb=64,
+                                   is_ull=True)
+                for vcpu in resident.vcpus:
+                    vcpu.vruntime = rng.uniform(0.0, 50.0)
+                virt.vanilla.place_initial(resident, 0)
+                horse.pause(resident, 0)
+                horse.resume(resident, 0)
+                residents.append(resident)
+            target = Sandbox(vcpus=rng.randrange(1, 7), memory_mb=64,
+                             is_ull=True)
+            for vcpu in target.vcpus:
+                vcpu.vruntime = rng.uniform(0.0, 50.0)
+            virt.vanilla.place_initial(target, 0)
+            horse.pause(target, 0)
+            snapshot = snapshot_before_resume(horse, target)
+            assert snapshot is not None
+            horse.resume(target, 0)
+            problems = verify_resume(snapshot, horse, 0)
+            assert problems == [], f"case {case} ({config}): {problems}"
+            # Drain so queue occupancy varies but stays bounded.
+            for sandbox in [target, *residents]:
+                horse.pause(sandbox, 0)
+                virt.vanilla.resume(sandbox, 0)
+
+    def test_500_coalesced_folds_match_closed_form_to_zero_ulps(self):
+        """The fused update must equal the closed form bit-for-bit and
+        sit within the calibrated ULP budget of n-fold application."""
+        from repro.check import DEFAULT_MAX_ULPS
+        from repro.core.coalesce import (
+            AffineUpdate,
+            CoalescedUpdate,
+            apply_n_times,
+            ulps_apart,
+        )
+        from repro.hypervisor.load_tracking import DECAY_FACTOR
+        from repro.sim.rng import RngRegistry
+
+        rng = RngRegistry(99).stream("coalesce500")
+        for case in range(self.CASES):
+            weight = rng.choice([256.0, 512.0, 1024.0, 2048.0])
+            alpha = DECAY_FACTOR
+            beta = weight * (1.0 - DECAY_FACTOR)
+            n = rng.randrange(1, 65)
+            x = rng.uniform(0.0, 40_000.0)
+            update = CoalescedUpdate.precompute(alpha, beta, n)
+            # Closed form, recomputed independently of precompute().
+            alpha_n = alpha ** n
+            closed = alpha_n * x + beta * (1.0 - alpha_n) / (1.0 - alpha)
+            assert ulps_apart(update.apply(x), closed) == 0, f"case {case}"
+            iterated = apply_n_times(AffineUpdate(alpha, beta), x, n)
+            gap = ulps_apart(update.apply(x), iterated)
+            assert gap <= DEFAULT_MAX_ULPS, (
+                f"case {case}: n={n} x={x}: {gap} ULPs"
+            )

@@ -18,7 +18,23 @@ def make_setup(reserved_core=False):
         else virt.host.general_runqueues()[0]
     )
     dispatcher = CoreDispatcher(engine, runqueue, virt.policy, virt.costs)
+    # Every quantum ends in an engine event: assert queue integrity
+    # (sortedness, size counter, link structure) after each one.
+    engine.add_watcher(lambda _event: runqueue.check_invariants())
     return engine, virt, dispatcher
+
+
+def make_host_setup():
+    engine = Engine()
+    virt = firecracker_platform()
+    host_dispatcher = HostDispatcher(engine, virt.host, virt.policy, virt.costs)
+
+    def check_all(_event):
+        for runqueue in virt.host.runqueues.values():
+            runqueue.check_invariants()
+
+    engine.add_watcher(check_all)
+    return engine, virt, host_dispatcher
 
 
 def make_item(work_ns, index=0, done=None):
@@ -160,15 +176,11 @@ class TestPreemption:
 
 class TestHostDispatcher:
     def test_one_dispatcher_per_core(self):
-        engine = Engine()
-        virt = firecracker_platform()
-        host_dispatcher = HostDispatcher(engine, virt.host, virt.policy, virt.costs)
+        _, virt, host_dispatcher = make_host_setup()
         assert len(host_dispatcher.cores) == virt.host.spec.total_cores
 
     def test_least_busy_placement_spreads(self):
-        engine = Engine()
-        virt = firecracker_platform()
-        host_dispatcher = HostDispatcher(engine, virt.host, virt.policy, virt.costs)
+        _, _, host_dispatcher = make_host_setup()
         used = set()
         for index in range(6):
             dispatcher = host_dispatcher.submit_to_least_busy(
@@ -178,9 +190,7 @@ class TestHostDispatcher:
         assert len(used) == 6
 
     def test_parallel_cores_finish_concurrently(self):
-        engine = Engine()
-        virt = firecracker_platform()
-        host_dispatcher = HostDispatcher(engine, virt.host, virt.policy, virt.costs)
+        engine, _, host_dispatcher = make_host_setup()
         for index in range(4):
             host_dispatcher.submit_to_least_busy(
                 make_item(milliseconds(3), index=index)
@@ -190,8 +200,33 @@ class TestHostDispatcher:
         assert engine.now == milliseconds(3)  # ran in parallel
 
     def test_unknown_core_raises(self):
-        engine = Engine()
-        virt = firecracker_platform()
-        host_dispatcher = HostDispatcher(engine, virt.host, virt.policy, virt.costs)
+        _, _, host_dispatcher = make_host_setup()
         with pytest.raises(KeyError):
             host_dispatcher.core(9999)
+
+
+class TestWatcherCoverage:
+    def test_integrity_watcher_actually_fires(self):
+        """The per-event invariant watcher must see every quantum —
+        otherwise the integrity assertions above are vacuous."""
+        engine, _, dispatcher = make_setup()
+        seen = []
+        engine.add_watcher(seen.append)
+        dispatcher.submit(make_item(milliseconds(12)))
+        engine.run()
+        # 12 ms on a 5 ms quantum: at least 3 slice events observed.
+        assert len(seen) >= 3
+
+    def test_corrupted_queue_is_caught_at_the_next_event(self):
+        """Mutation check: break the queue mid-run and the watcher
+        installed by make_setup raises at the very next event."""
+        engine, _, dispatcher = make_setup()
+        dispatcher.submit(make_item(milliseconds(12), index=0))
+        dispatcher.submit(make_item(milliseconds(12), index=1))
+
+        def corrupt():
+            dispatcher.runqueue.entities._size += 1
+
+        engine.schedule_at(milliseconds(1), corrupt)
+        with pytest.raises(AssertionError, match="size counter"):
+            engine.run()

@@ -2,13 +2,14 @@
 
 import pytest
 
+from repro.hypervisor.runqueue import RunQueue
 from repro.hypervisor.scheduler.cfs import CfsPolicy
 from repro.hypervisor.scheduler.credit2 import (
     CREDIT_INITIAL,
     Credit2Policy,
 )
 from repro.hypervisor.vcpu import Vcpu
-from repro.sim.units import milliseconds
+from repro.sim.units import microseconds, milliseconds
 
 
 def make_vcpu(credit=0.0, vruntime=0.0, weight=1024.0):
@@ -102,3 +103,68 @@ class TestCfs:
     def test_policy_names(self):
         assert CfsPolicy().name == "cfs"
         assert Credit2Policy().name == "credit2"
+
+
+class TestPolicyDrivenQueueIntegrity:
+    """Rotate a live run queue under each policy, asserting integrity
+    (sortedness, size, links) after every simulated quantum."""
+
+    @pytest.mark.parametrize(
+        "policy", [CfsPolicy(), Credit2Policy()], ids=["cfs", "credit2"]
+    )
+    def test_rotation_keeps_queue_sorted_every_quantum(self, policy):
+        queue = RunQueue(
+            runqueue_id=0, core_id=0, sort_key=policy.sort_key,
+            timeslice_ns=policy.default_timeslice_ns(),
+        )
+        for index in range(6):
+            vcpu = Vcpu(index=index, sandbox_id=f"sb-{index}")
+            vcpu.weight = 512.0 * (1 + index % 3)
+            policy.on_enqueue(vcpu)
+            queue.enqueue_sorted(vcpu, 0)
+        queue.check_invariants()
+
+        now = 0
+        for quantum in range(40):
+            now += policy.default_timeslice_ns()
+            head = queue.peek_next()
+            assert head is not None
+            queue.dequeue(head, now)
+            policy.charge(head, policy.default_timeslice_ns())
+            policy.on_enqueue(head)
+            queue.enqueue_sorted(head, now)
+            queue.check_invariants()
+        assert len(queue) == 6
+
+    def test_mixed_wakeups_and_departures_stay_sound(self):
+        policy = CfsPolicy(timeslice_ns=microseconds(500))
+        queue = RunQueue(
+            runqueue_id=0, core_id=0, sort_key=policy.sort_key,
+            timeslice_ns=policy.default_timeslice_ns(),
+        )
+        parked = []
+        for index in range(8):
+            vcpu = Vcpu(index=index, sandbox_id=f"sb-{index}")
+            policy.on_enqueue(vcpu)
+            queue.enqueue_sorted(vcpu, 0)
+        queue.check_invariants()
+        now = 0
+        for step in range(60):
+            now += policy.default_timeslice_ns()
+            if step % 3 == 2 and parked:
+                returning = parked.pop()
+                policy.on_enqueue(returning)
+                queue.enqueue_sorted(returning, now)
+            else:
+                head = queue.peek_next()
+                if head is None:
+                    continue
+                queue.dequeue(head, now)
+                policy.charge(head, policy.default_timeslice_ns())
+                if step % 4 == 3:
+                    parked.append(head)  # sleeps off-queue for a while
+                else:
+                    policy.on_enqueue(head)
+                    queue.enqueue_sorted(head, now)
+            queue.check_invariants()
+        assert len(queue) + len(parked) == 8
