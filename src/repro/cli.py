@@ -8,6 +8,9 @@ Commands:
   export Perfetto-loadable Chrome JSON + lossless JSONL traces;
 * ``check``        — run one artifact under the correctness harness
   (invariants + differential oracles, optional fault injection);
+* ``chaos``        — run the cluster chaos study under seeded
+  infrastructure failures (crashes, resume faults) and compare
+  resilience modes;
 * ``demo``         — the quickstart comparison of the four start paths;
 * ``list``         — list the available experiment ids.
 """
@@ -208,6 +211,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos experiment under seeded failure injection.
+
+    Exit status 0 means every mode was sound: all submitted requests
+    reached a terminal state (completed / shed / failed — none lost)
+    and every resilience invariant held; 1 means a mode reported
+    violations.  Output is deterministic: two runs with the same seed
+    and flags are byte-identical (the CI chaos job diffs them).
+    """
+    from repro.experiments.chaos import (
+        CHAOSABLE,
+        ChaosConfig,
+        render_chaos,
+        run_chaos,
+    )
+
+    if args.name not in CHAOSABLE:
+        print(
+            f"experiment {args.name!r} has no chaos runner; "
+            f"choose from {', '.join(CHAOSABLE)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = ChaosConfig(
+            hosts=args.hosts,
+            failure_rate=args.failure_rate,
+            requests=args.requests,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = run_chaos(config)
+    print(render_chaos(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, description in sorted(EXPERIMENTS.items()):
         print(f"{name:12s} {description}")
@@ -300,6 +341,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="ULP budget for the coalesced-vs-iterated load comparison",
     )
     check.set_defaults(func=_cmd_check)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the cluster chaos study under seeded failure injection "
+        "(node crashes, resume faults; breaker vs retries-only vs vanilla)",
+    )
+    chaos.add_argument("name", help="chaos experiment id (cluster)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--failure-rate", type=float, default=0.1, metavar="R",
+        help="failure intensity in [0, 1): resume-fault probability scale "
+        "and crash frequency (default 0.1)",
+    )
+    chaos.add_argument("--hosts", type=int, default=4)
+    chaos.add_argument("--requests", type=int, default=1200)
+    chaos.set_defaults(func=_cmd_chaos)
 
     lister = subparsers.add_parser("list", help="list experiment ids")
     lister.set_defaults(func=_cmd_list)

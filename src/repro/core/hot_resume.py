@@ -45,8 +45,11 @@ from repro.hypervisor.pause_resume import (
     STEP_MERGE,
     STEP_PARSE,
     STEP_SANITY,
+    STEP_STALL,
     PauseResult,
+    ResumeFaultHook,
     ResumeResult,
+    apply_resume_fault,
 )
 from repro.hypervisor.runqueue import RunQueue
 from repro.hypervisor.sandbox import Sandbox, SandboxState
@@ -123,6 +126,10 @@ class HorsePauseResume:
         self.mid_resume_hook: Optional[
             Callable[[Sandbox, "RunQueue", int], None]
         ] = None
+        #: Optional per-resume fault decision (repro.resilience failure
+        #: domains) — the fast path fails under the same injector as the
+        #: vanilla path.
+        self.fault_hook: Optional[ResumeFaultHook] = None
 
     # ------------------------------------------------------------------
     # Pause: dequeue + precompute
@@ -257,6 +264,9 @@ class HorsePauseResume:
     # ------------------------------------------------------------------
     def resume(self, sandbox: Sandbox, now_ns: int) -> HorseResumeResult:
         breakdown = Breakdown()
+        stall_ns = apply_resume_fault(self.fault_hook, sandbox, now_ns, "horse")
+        if stall_ns:
+            breakdown.add(STEP_STALL, round(stall_ns))
         if self.config.fast_command_path:
             breakdown.add(STEP_PARSE, round(self.costs.fast_parse_ns))
             breakdown.add(STEP_LOCK, round(self.costs.fast_lock_ns))
@@ -379,6 +389,8 @@ class HorsePauseResume:
             vcpus=sandbox.vcpu_count, fast_path=self.config.fast_command_path,
         )
         phases = breakdown.phases
+        if phases.get(STEP_STALL):
+            timeline.phase("stall", phases[STEP_STALL], injected=True)
         timeline.phase("parse", phases.get(STEP_PARSE, 0))
         timeline.phase("lock", phases.get(STEP_LOCK, 0))
         timeline.phase("sanity", phases.get(STEP_SANITY, 0))

@@ -1,0 +1,320 @@
+"""Chaos study: latency vs failure rate under injected infrastructure churn.
+
+Drives one Poisson-ish request mix (a uLL firewall function plus a
+CPU-heavy background function) through the resilient gateway over a
+small cluster while the :class:`~repro.resilience.FailureInjector`
+crashes nodes and corrupts resumes, and compares *resilience modes*:
+
+* ``breaker``      — full stack: per-node circuit breakers, retries
+  with jittered backoff, hedged uLL requests, degradation ladder;
+* ``retries-only`` — same stack minus the breakers.  Placement keeps
+  routing to sick hosts, so every request pays to rediscover them —
+  the breaker's p99 win comes exactly from skipping that;
+* ``vanilla``      — no HORSE: functions declassified to non-uLL, pools
+  warmed through the vanilla pause path, no hedging.  The
+  HORSE-vs-vanilla comparison under churn.
+
+Everything is a pure function of ``(config, seed)``: two same-seed runs
+produce identical ``ChaosResult``\\ s (the CLI determinism check diffs
+the rendered output byte-for-byte).
+
+Every run is audited: the gateway's ledger/breaker invariants and the
+end-of-run "no lost invocations" oracle must come back clean, and any
+violation is carried on the outcome for the caller (CLI exits non-zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faas.cluster import FaaSCluster
+from repro.faas.function import FunctionSpec
+from repro.metrics.stats import percentile
+from repro.resilience import (
+    BreakerConfig,
+    FailureConfig,
+    FailureInjector,
+    HedgePolicy,
+    RequestState,
+    ResilienceConfig,
+    ResilientGateway,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.units import milliseconds, seconds, to_microseconds
+from repro.workloads import FirewallWorkload, SysbenchCpuWorkload
+from repro.workloads.base import WorkloadCategory
+
+#: Resilience modes the study compares, in rendering order.
+CHAOS_MODES: Tuple[str, ...] = ("breaker", "retries-only", "vanilla")
+
+#: Experiment ids `repro chaos` accepts (mirrors repro.check.CHECKABLE).
+CHAOSABLE: Tuple[str, ...] = ("cluster",)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of one chaos run (identical across the compared modes)."""
+
+    hosts: int = 4
+    failure_rate: float = 0.1
+    requests: int = 1200
+    #: mean request inter-arrival (exponential draws)
+    mean_interarrival_ms: float = 5.0
+    #: fraction of requests hitting the uLL function
+    ull_fraction: float = 0.5
+    warm_per_host: int = 3
+    #: engine drain horizon after the last submission
+    drain_s: float = 60.0
+    #: mean host up-time = this / failure_rate (0.25 s at the default
+    #: rate 0.1 gives a 2.5 s MTBF — a few crashes inside the ~2 s
+    #: arrival window)
+    crash_mtbf_base_s: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hosts < 2:
+            raise ValueError(
+                f"chaos needs >= 2 hosts (hedging/steering), got {self.hosts}"
+            )
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.warm_per_host < 1:
+            raise ValueError(
+                f"warm_per_host must be >= 1, got {self.warm_per_host}"
+            )
+
+
+@dataclass
+class ModeOutcome:
+    """One resilience mode's aggregate behaviour over a chaos run."""
+
+    mode: str
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed: int = 0
+    retries: int = 0
+    hedges: int = 0
+    redundant_hedges: int = 0
+    degradations: Dict[str, int] = field(default_factory=dict)
+    breaker_opens: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    fired: Dict[str, int] = field(default_factory=dict)
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
+    #: latency over the firewall (uLL-class) requests only — the numbers
+    #: HORSE exists for, and where the breaker-vs-retries gap shows
+    ull_p50_us: float = 0.0
+    ull_p99_us: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> int:
+        return self.completed + self.shed + self.failed
+
+    @property
+    def ok(self) -> bool:
+        """Soundness: all requests terminal, all invariants held."""
+        return self.resolved == self.submitted and not self.violations
+
+
+@dataclass
+class ChaosResult:
+    config: ChaosConfig
+    outcomes: Dict[str, ModeOutcome] = field(default_factory=dict)
+
+    def outcome(self, mode: str) -> ModeOutcome:
+        return self.outcomes[mode]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes.values())
+
+
+#: Breaker tuning for the study: trip fast (2 consecutive failures) and
+#: back off for a whole second — on a flaky host faulting more than half
+#: its resumes, a high open duty-cycle is what moves the p99.
+_STUDY_BREAKER = BreakerConfig(failure_threshold=2, open_ns=seconds(1))
+
+
+def _mode_resilience(mode: str, config: ChaosConfig) -> ResilienceConfig:
+    # Recoveries restock to the full provisioning level; a half-warmed
+    # host would turn every breaker exclusion elsewhere into cold starts.
+    rewarm = config.warm_per_host
+    if mode == "breaker":
+        return ResilienceConfig(breaker=_STUDY_BREAKER, rewarm_per_host=rewarm)
+    if mode == "retries-only":
+        return ResilienceConfig(breaker=None, rewarm_per_host=rewarm)
+    if mode == "vanilla":
+        # No uLL class in a vanilla deployment, hence no hedging either.
+        return ResilienceConfig(
+            breaker=_STUDY_BREAKER,
+            hedge=HedgePolicy.disabled(),
+            rewarm_per_host=rewarm,
+        )
+    raise ValueError(f"unknown chaos mode {mode!r}; choose from {CHAOS_MODES}")
+
+
+def _build_workloads(mode: str):
+    """The uLL firewall + background thumbnail pair for one mode.
+
+    The ``vanilla`` mode runs the *same* bodies but declassifies the
+    firewall out of the uLL category: same work, no HORSE fast path —
+    the apples-to-apples churn comparison.
+    """
+    firewall = FirewallWorkload()
+    firewall.name = "firewall"
+    if mode == "vanilla":
+        firewall.category = WorkloadCategory.BACKGROUND
+    background = SysbenchCpuWorkload()
+    background.name = "background"
+    return firewall, background
+
+
+def run_chaos_mode(mode: str, config: ChaosConfig) -> ModeOutcome:
+    """One mode, one seeded run, fully drained and audited."""
+    resilience = _mode_resilience(mode, config)
+    firewall, background = _build_workloads(mode)
+    cluster = FaaSCluster(hosts=config.hosts, seed=config.seed)
+    cluster.register(FunctionSpec("firewall", firewall, memory_mb=128))
+    cluster.register(FunctionSpec("background", background, memory_mb=256))
+    use_horse = None if mode != "vanilla" else False
+    cluster.provision_warm(
+        "firewall", per_host=config.warm_per_host, use_horse=use_horse
+    )
+    cluster.provision_warm("background", per_host=config.warm_per_host)
+
+    gateway = ResilientGateway(cluster, resilience, seed=config.seed)
+    # Faults concentrate on the flaky hosts (calm hosts are nearly
+    # clean): that asymmetry is what per-node breakers exploit, and what
+    # separates the breaker and retries-only columns at the uLL p99.
+    injector = FailureInjector(
+        cluster,
+        FailureConfig(
+            failure_rate=config.failure_rate,
+            crash_mtbf_base_s=config.crash_mtbf_base_s,
+            calm_factor=0.05,
+        ),
+        seed=config.seed,
+    )
+    gateway.attach(injector)
+
+    # The arrival schedule comes from its own stream, so every mode sees
+    # the identical workload and the identical failure schedule.
+    arrivals = RngRegistry(config.seed).fork("chaos-arrivals").stream("times")
+    mean_gap_ns = milliseconds(config.mean_interarrival_ms)
+    t = 0
+    last = 0
+    for index in range(config.requests):
+        t += max(1, round(arrivals.expovariate(1.0 / mean_gap_ns)))
+        last = t
+        ull = arrivals.random() < config.ull_fraction
+        name = "firewall" if ull else "background"
+        priority = 1 if ull else 0
+        cluster.engine.schedule_at(
+            t,
+            lambda name=name, priority=priority: gateway.submit(
+                name, priority=priority
+            ),
+            label=f"chaos-submit:{index}",
+        )
+    injector.schedule_crashes(until_ns=last)
+    cluster.engine.run(until=last + seconds(config.drain_s))
+
+    completed = gateway.by_state(RequestState.COMPLETED)
+    latencies = sorted(
+        to_microseconds(request.latency_ns) for request in completed
+    )
+    ull_latencies = sorted(
+        to_microseconds(request.latency_ns)
+        for request in completed
+        if request.function == "firewall"
+    )
+    violations = gateway.invariant_violations() + gateway.unresolved_violations()
+    return ModeOutcome(
+        mode=mode,
+        submitted=len(gateway.requests),
+        completed=len(latencies),
+        shed=len(gateway.by_state(RequestState.SHED)),
+        failed=len(gateway.by_state(RequestState.FAILED)),
+        retries=sum(request.retries for request in gateway.requests),
+        hedges=sum(request.hedges_used for request in gateway.requests),
+        redundant_hedges=sum(
+            request.redundant_hedges for request in gateway.requests
+        ),
+        degradations=dict(sorted(gateway.degradations.transitions.items())),
+        breaker_opens=sum(
+            breaker.open_count for breaker in gateway.breakers.values()
+        ),
+        crashes=cluster.stats.crashes,
+        recoveries=cluster.stats.recoveries,
+        fired=dict(injector.fired),
+        p50_us=percentile(latencies, 50.0) if latencies else 0.0,
+        p95_us=percentile(latencies, 95.0) if latencies else 0.0,
+        p99_us=percentile(latencies, 99.0) if latencies else 0.0,
+        ull_p50_us=percentile(ull_latencies, 50.0) if ull_latencies else 0.0,
+        ull_p99_us=percentile(ull_latencies, 99.0) if ull_latencies else 0.0,
+        violations=violations,
+    )
+
+
+def run_chaos(
+    config: Optional[ChaosConfig] = None,
+    modes: Tuple[str, ...] = CHAOS_MODES,
+) -> ChaosResult:
+    """The full study: every mode over the identical seeded schedule."""
+    config = config or ChaosConfig()
+    result = ChaosResult(config=config)
+    for mode in modes:
+        result.outcomes[mode] = run_chaos_mode(mode, config)
+    return result
+
+
+def render_chaos(result: ChaosResult) -> str:
+    """Fixed-width summary table (byte-stable for the determinism check)."""
+    config = result.config
+    lines = [
+        f"chaos: hosts={config.hosts} requests={config.requests} "
+        f"failure_rate={config.failure_rate:g} seed={config.seed}",
+        "",
+        f"{'mode':14s} {'done':>5s} {'shed':>5s} {'fail':>5s} {'retry':>6s} "
+        f"{'hedge':>6s} {'degr':>5s} {'opens':>6s} "
+        f"{'p99 us':>10s} {'uLL p50 us':>11s} {'uLL p99 us':>11s}",
+    ]
+    for mode in result.outcomes:
+        outcome = result.outcomes[mode]
+        lines.append(
+            f"{outcome.mode:14s} {outcome.completed:5d} {outcome.shed:5d} "
+            f"{outcome.failed:5d} {outcome.retries:6d} {outcome.hedges:6d} "
+            f"{sum(outcome.degradations.values()):5d} {outcome.breaker_opens:6d} "
+            f"{outcome.p99_us:10.1f} {outcome.ull_p50_us:11.2f} "
+            f"{outcome.ull_p99_us:11.2f}"
+        )
+    lines.append("")
+    for mode in result.outcomes:
+        outcome = result.outcomes[mode]
+        degraded = (
+            ", ".join(f"{k}:{v}" for k, v in outcome.degradations.items())
+            or "none"
+        )
+        fired = ", ".join(f"{k}:{v}" for k, v in sorted(outcome.fired.items()))
+        lines.append(
+            f"{outcome.mode}: crashes={outcome.crashes} "
+            f"recoveries={outcome.recoveries} degradations=[{degraded}] "
+            f"faults=[{fired}]"
+        )
+        if not outcome.ok:
+            lines.append(
+                f"{outcome.mode}: UNSOUND — "
+                f"{outcome.submitted - outcome.resolved} unresolved, "
+                f"{len(outcome.violations)} violations"
+            )
+            lines.extend(f"  {message}" for message in outcome.violations[:10])
+    return "\n".join(lines)

@@ -4,9 +4,12 @@ from repro.faas.autoscaler import AutoscalerConfig, PoolAutoscaler
 from repro.faas.cluster import (
     FaaSCluster,
     LeastLoadedPlacement,
+    NodeHealth,
+    NoHealthyHostError,
     PlacementPolicy,
     RoundRobinPlacement,
     WarmAffinityPlacement,
+    plan_start,
 )
 from repro.faas.function import FunctionRegistry, FunctionSpec
 from repro.faas.gateway import FaaSGateway
@@ -39,9 +42,12 @@ __all__ = [
     "PoolAutoscaler",
     "FaaSCluster",
     "LeastLoadedPlacement",
+    "NodeHealth",
+    "NoHealthyHostError",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "WarmAffinityPlacement",
+    "plan_start",
     "ALL_TRANSPORTS",
     "KERNEL_BYPASS",
     "LOCAL",

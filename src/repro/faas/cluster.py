@@ -13,13 +13,21 @@ Placement policies:
 * ``least-loaded`` — host with the fewest in-flight invocations;
 * ``warm-affinity`` — prefer hosts with a pooled warm sandbox for the
   function, falling back to least-loaded (avoids needless cold starts).
+
+Every policy chooses among the cluster's *routable* hosts only: nodes
+marked down (crashed) are skipped, as is any node vetoed by the
+cluster's ``host_gate`` (the resilience layer installs a per-node
+circuit breaker there).  Warm-path misses never silently cold-start:
+the degradation from the requested start type is explicit, counted per
+transition in :class:`ClusterStats` and traceable per trigger.
 """
 
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.hot_resume import HorseConfig
 from repro.faas.function import FunctionSpec
@@ -30,6 +38,39 @@ from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 
 
+class NoHealthyHostError(Exception):
+    """Every host is down, excluded, or gated — nothing can serve."""
+
+
+@dataclass
+class NodeHealth:
+    """One host's availability, as the control plane sees it."""
+
+    up: bool = True
+    crashes: int = 0
+    recoveries: int = 0
+    last_change_ns: int = 0
+
+
+def plan_start(
+    host: FaaSPlatform, function_name: str, requested: StartType
+) -> Tuple[StartType, Optional[str]]:
+    """The degradation decision for one trigger on one host.
+
+    Warm-path requests (HORSE hot resume, vanilla warm resume) need a
+    pooled sandbox; when the host's pool is empty the trigger falls
+    through to a cold start.  Returns ``(effective, reason)`` where
+    *reason* is None for an undegraded start and a ``"<from>->cold"``
+    tag otherwise — callers must surface it, never swallow it.
+    """
+    if (
+        requested in (StartType.WARM, StartType.HORSE)
+        and host.pool.size(function_name) == 0
+    ):
+        return StartType.COLD, f"{requested.value}->cold"
+    return requested, None
+
+
 class PlacementPolicy(abc.ABC):
     """Chooses the host index for one trigger."""
 
@@ -37,7 +78,12 @@ class PlacementPolicy(abc.ABC):
 
     @abc.abstractmethod
     def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
-        """Return the index of the host to route to."""
+        """Return the index of the host to route to.
+
+        Implementations must only return routable hosts (healthy, not
+        excluded, not vetoed by the host gate) and raise
+        :class:`NoHealthyHostError` when there are none.
+        """
 
 
 class RoundRobinPlacement(PlacementPolicy):
@@ -47,7 +93,8 @@ class RoundRobinPlacement(PlacementPolicy):
         self._next = 0
 
     def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
-        index = self._next % len(cluster.hosts)
+        candidates = cluster.routable_hosts()
+        index = candidates[self._next % len(candidates)]
         self._next += 1
         return index
 
@@ -57,7 +104,7 @@ class LeastLoadedPlacement(PlacementPolicy):
 
     def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
         return min(
-            range(len(cluster.hosts)),
+            cluster.routable_hosts(),
             key=lambda i: (cluster.in_flight[i], i),
         )
 
@@ -71,8 +118,8 @@ class WarmAffinityPlacement(PlacementPolicy):
     def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
         warm = [
             i
-            for i, host in enumerate(cluster.hosts)
-            if host.pool.size(function_name) > 0
+            for i in cluster.routable_hosts()
+            if cluster.hosts[i].pool.size(function_name) > 0
         ]
         if warm:
             return min(warm, key=lambda i: (cluster.in_flight[i], i))
@@ -84,6 +131,11 @@ class ClusterStats:
     triggers: int = 0
     per_host_triggers: Dict[int, int] = field(default_factory=dict)
     cold_fallbacks: int = 0
+    #: explicit degradations, counted per transition tag ("horse->cold")
+    degraded: Dict[str, int] = field(default_factory=dict)
+    #: host crashes / recoveries observed by the routing layer
+    crashes: int = 0
+    recoveries: int = 0
 
 
 class FaaSCluster:
@@ -113,6 +165,80 @@ class FaaSCluster:
         self.placement = placement or WarmAffinityPlacement()
         self.in_flight: Dict[int, int] = {i: 0 for i in range(hosts)}
         self.stats = ClusterStats()
+        self.health: List[NodeHealth] = [NodeHealth() for _ in range(hosts)]
+        #: Optional routing veto consulted per host (the resilience
+        #: layer points this at its per-node circuit breakers).
+        self.host_gate: Optional[Callable[[int], bool]] = None
+        self._excluded: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Health & routability
+    # ------------------------------------------------------------------
+    def routable_hosts(self) -> List[int]:
+        """Hosts a trigger may be routed to right now.
+
+        Raises :class:`NoHealthyHostError` when empty so no caller can
+        accidentally treat "nowhere to go" as index 0.
+        """
+        candidates = [
+            i
+            for i in range(len(self.hosts))
+            if self.health[i].up
+            and i not in self._excluded
+            and (self.host_gate is None or self.host_gate(i))
+        ]
+        if not candidates:
+            raise NoHealthyHostError(
+                f"no routable host ({len(self.hosts)} total, "
+                f"{sum(h.up for h in self.health)} up)"
+            )
+        return candidates
+
+    @contextmanager
+    def excluding(self, *indices: int) -> Iterator[None]:
+        """Temporarily hide hosts from routing (hedged requests must
+        land on a different node than their primary)."""
+        previous = self._excluded
+        self._excluded = previous | set(indices)
+        try:
+            yield
+        finally:
+            self._excluded = previous
+
+    def mark_down(self, index: int, now_ns: Optional[int] = None) -> None:
+        """Take a host out of routing (crash detected)."""
+        health = self.health[index]
+        if not health.up:
+            return
+        health.up = False
+        health.crashes += 1
+        health.last_change_ns = self.engine.now if now_ns is None else now_ns
+        self.stats.crashes += 1
+
+    def mark_up(self, index: int, now_ns: Optional[int] = None) -> None:
+        """Return a recovered host to routing."""
+        health = self.health[index]
+        if health.up:
+            return
+        health.up = True
+        health.recoveries += 1
+        health.last_change_ns = self.engine.now if now_ns is None else now_ns
+        self.stats.recoveries += 1
+
+    def crash_host(self, index: int, now_ns: Optional[int] = None) -> int:
+        """Crash one host: mark it down and destroy its warm pool.
+
+        Returns the number of pooled sandboxes lost.  In-flight
+        invocations on the host are the resilience layer's problem (it
+        tracks them and re-dispatches); the cluster only owns routing
+        state and pooled capacity.
+        """
+        self.mark_down(index, now_ns)
+        return self.hosts[index].fail_all_pooled()
+
+    def recover_host(self, index: int, now_ns: Optional[int] = None) -> None:
+        """Bring a crashed host back (empty-pooled until re-warmed)."""
+        self.mark_up(index, now_ns)
 
     # ------------------------------------------------------------------
     def register(self, spec: FunctionSpec) -> None:
@@ -130,23 +256,49 @@ class FaaSCluster:
     def trigger(
         self, function_name: str, start_type: StartType, **kwargs
     ) -> Invocation:
-        """Route one trigger; warm-path misses fall back to cold on the
-        chosen host (counted in stats)."""
+        """Route one trigger via the placement policy."""
         index = self.placement.choose(self, function_name)
+        return self.trigger_on(index, function_name, start_type, **kwargs)
+
+    def trigger_on(
+        self, index: int, function_name: str, start_type: StartType, **kwargs
+    ) -> Invocation:
+        """Fire one trigger on a specific host.
+
+        Warm-path pool misses degrade to cold *explicitly*: the
+        transition is counted in ``stats.degraded`` (and the legacy
+        ``cold_fallbacks`` counter) and recorded on the host's trace —
+        never silently.
+        """
+        if not self.health[index].up:
+            raise NoHealthyHostError(f"host {index} is down")
         host = self.hosts[index]
         self.stats.triggers += 1
         self.stats.per_host_triggers[index] = (
             self.stats.per_host_triggers.get(index, 0) + 1
         )
-        effective = start_type
-        if (
-            start_type in (StartType.WARM, StartType.HORSE)
-            and host.pool.size(function_name) == 0
-        ):
-            effective = StartType.COLD
+        effective, degraded = plan_start(host, function_name, start_type)
+        if degraded is not None:
+            self.stats.degraded[degraded] = self.stats.degraded.get(degraded, 0) + 1
             self.stats.cold_fallbacks += 1
+            if host.obs.enabled:
+                host.obs.metrics.counter(
+                    f"cluster.degrade.{degraded}",
+                    "warm-path miss degraded to cold",
+                ).inc()
+            host.trace.record(
+                self.engine.now, "cluster", "degrade",
+                function=function_name, host=index, transition=degraded,
+            )
         self.in_flight[index] += 1
-        invocation = host.trigger(function_name, effective, **kwargs)
+        try:
+            invocation = host.trigger(function_name, effective, **kwargs)
+        except BaseException:
+            # A failed trigger (injected resume fault, pool error) must
+            # not leak in-flight accounting — placement would otherwise
+            # see a phantom load on this host forever.
+            self.in_flight[index] -= 1
+            raise
         self.engine.schedule_at(
             invocation.exec_end_ns,
             lambda: self._finish(index),
@@ -162,7 +314,8 @@ class FaaSCluster:
         return sum(host.pool.size(function_name) for host in self.hosts)
 
     def __repr__(self) -> str:
+        up = sum(h.up for h in self.health)
         return (
-            f"FaaSCluster(hosts={len(self.hosts)}, "
+            f"FaaSCluster(hosts={len(self.hosts)}, up={up}, "
             f"placement={self.placement.name}, triggers={self.stats.triggers})"
         )

@@ -113,6 +113,7 @@ class FaaSGateway:
             raise
         invocation.start_type = outcome.start_type
         invocation.sandbox_id = outcome.sandbox.sandbox_id
+        invocation.sandbox = outcome.sandbox
         invocation.sandbox_ready_ns = now + outcome.init_ns
         invocation.exec_start_ns = invocation.sandbox_ready_ns
 
@@ -136,7 +137,10 @@ class FaaSGateway:
             function=function_name, start=outcome.start_type.value,
             init_ns=outcome.init_ns, invocation=invocation.invocation_id,
         )
-        self.engine.schedule_at(
+        # The completion event is kept on the invocation so failure
+        # handling (repro.resilience) can cancel it if the serving host
+        # crashes before exec_end_ns.
+        invocation.completion_event = self.engine.schedule_at(
             invocation.exec_end_ns,
             lambda: self._complete(spec, invocation, outcome.sandbox, return_to_pool),
             label=f"complete:{invocation.invocation_id}",
@@ -181,6 +185,8 @@ class FaaSGateway:
         return_to_pool: bool,
     ) -> None:
         """Function body finished: pause the sandbox back into the pool."""
+        if invocation.cancelled:
+            return  # host crashed mid-execution; nothing to pause back
         now = self.engine.now
         if return_to_pool:
             if spec.is_ull and self.horse is not None:

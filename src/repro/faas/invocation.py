@@ -45,11 +45,20 @@ class Invocation:
     interference_ns: int = 0
     result: Any = None
     error: Optional[str] = None
+    #: True once the invocation was abandoned (e.g. its host crashed
+    #: mid-execution); a cancelled invocation never counts as completed.
+    cancelled: bool = False
+    #: The sandbox serving this invocation (set by the gateway) — lets
+    #: failure handling above the start-strategy layer reclaim it.
+    sandbox: Any = field(default=None, repr=False, compare=False)
+    #: The gateway's scheduled completion event, cancellable by the
+    #: resilience layer when the serving host crashes mid-execution.
+    completion_event: Any = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
     def completed(self) -> bool:
-        return self.exec_end_ns is not None
+        return self.exec_end_ns is not None and not self.cancelled
 
     @property
     def initialization_ns(self) -> int:

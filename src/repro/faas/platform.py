@@ -31,7 +31,7 @@ from repro.faas.startup import (
     WarmStart,
 )
 from repro.hypervisor.platform import VirtualizationPlatform, platform_by_name
-from repro.hypervisor.sandbox import Sandbox
+from repro.hypervisor.sandbox import Sandbox, SandboxState
 from repro.obs.context import Observability, current as current_obs
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -171,6 +171,31 @@ class FaaSPlatform:
             return_to_pool=return_to_pool,
             extra_delay_ns=extra_delay_ns,
         )
+
+    # ------------------------------------------------------------------
+    # Failure handling (repro.resilience)
+    # ------------------------------------------------------------------
+    def destroy_sandbox(self, sandbox: Sandbox) -> None:
+        """Tear one sandbox down from any live state and free its memory.
+
+        Used when an operation on the sandbox failed terminally (hung
+        resume, host crash mid-execution): the sandbox is stopped, its
+        HORSE artifacts and ull_runqueue assignment are detached, and
+        its memory is returned to the host.
+        """
+        if sandbox.state is not SandboxState.STOPPED:
+            sandbox.transition(SandboxState.STOPPED)
+        self._release_sandbox_memory("", sandbox)
+
+    def fail_all_pooled(self) -> int:
+        """Destroy every idle pooled sandbox (node crash); returns the
+        number destroyed."""
+        destroyed = 0
+        for sandboxes in self.pool.drain_all().values():
+            for sandbox in sandboxes:
+                self.destroy_sandbox(sandbox)
+                destroyed += 1
+        return destroyed
 
     # ------------------------------------------------------------------
     def _release_sandbox_memory(self, _function: str, sandbox: Sandbox) -> None:

@@ -117,6 +117,27 @@ class SandboxPool:
         )
         self._eviction_events[sandbox.sandbox_id] = event
 
+    def drain_all(self) -> Dict[str, List[Sandbox]]:
+        """Remove every idle sandbox (host crash / shutdown).
+
+        Cancels all armed eviction timers and returns the drained
+        sandboxes per function, still PAUSED — disposing of them
+        (state transition, memory release) is the caller's job.
+        """
+        drained: Dict[str, List[Sandbox]] = {
+            name: list(queue) for name, queue in self._idle.items() if queue
+        }
+        self._idle.clear()
+        for event in self._eviction_events.values():
+            event.cancel()
+        self._eviction_events.clear()
+        if drained:
+            self._trace.record(
+                self._engine.now, "pool", "drain",
+                sandboxes=sum(len(v) for v in drained.values()),
+            )
+        return drained
+
     def _evict(self, function_name: str, sandbox: Sandbox) -> None:
         queue = self._idle.get(function_name)
         if not queue or sandbox not in queue:

@@ -19,7 +19,7 @@ exactly the data behind the paper's Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.hypervisor.costs import CostModel
 from repro.hypervisor.cpu import Host
@@ -31,6 +31,8 @@ from repro.obs.context import Observability, current as current_obs
 from repro.obs.phases import observe_resume
 
 # Step names, used as Breakdown phase keys everywhere downstream.
+#: Injected stall (slow-resume fault); present only in chaos runs.
+STEP_STALL = "0-stall"
 STEP_PARSE = "1-parse"
 STEP_LOCK = "2-lock"
 STEP_SANITY = "3-sanity"
@@ -68,6 +70,99 @@ class ResumeLockBusyError(SandboxError):
     """A second resume raced the global resume lock."""
 
 
+# ----------------------------------------------------------------------
+# Injected resume faults (repro.resilience failure domains)
+# ----------------------------------------------------------------------
+
+#: Fault kinds a resume-path fault hook may return.
+RESUME_FAULT_TRANSIENT = "transient_resume_error"
+RESUME_FAULT_SLOW = "slow_resume"
+RESUME_FAULT_HUNG = "hung_resume"
+
+
+@dataclass(frozen=True)
+class ResumeFault:
+    """One fault decision for a single resume call.
+
+    ``stall_ns`` is only meaningful for :data:`RESUME_FAULT_SLOW` — the
+    extra latency charged to the resume's breakdown.
+    """
+
+    kind: str
+    stall_ns: int = 0
+
+
+#: A fault hook inspects ``(sandbox, now_ns)`` and returns the fault to
+#: apply to this resume, or None for a clean resume.  Installed by the
+#: resilience layer's failure injector; None (the default) costs one
+#: ``is not None`` check.
+ResumeFaultHook = Callable[[Sandbox, int], Optional[ResumeFault]]
+
+
+class TransientResumeError(SandboxError):
+    """The hypervisor resume command failed transiently.
+
+    The target sandbox is left PAUSED and untouched — retrying (or
+    re-pooling it) is legal.  Carries the sandbox so callers above the
+    start-strategy layer can recover it.
+    """
+
+    def __init__(self, sandbox: Sandbox, message: str) -> None:
+        super().__init__(message)
+        self.sandbox = sandbox
+
+
+class HungResumeError(SandboxError):
+    """The resume operation stalled permanently.
+
+    The sandbox is left stuck in RESUMING (nothing was enqueued); the
+    caller is expected to detect the hang via its attempt timeout and
+    destroy the sandbox.
+    """
+
+    def __init__(self, sandbox: Sandbox, message: str) -> None:
+        super().__init__(message)
+        self.sandbox = sandbox
+
+
+def apply_resume_fault(
+    fault_hook: Optional[ResumeFaultHook],
+    sandbox: Sandbox,
+    now_ns: int,
+    path: str,
+) -> int:
+    """Consult *fault_hook* for this resume; raise or return a stall.
+
+    Returns the stall to charge (0 for a clean resume); raises
+    :class:`TransientResumeError` / :class:`HungResumeError` for the
+    terminal kinds.  Shared by the vanilla and the HORSE resume paths so
+    both fail identically under the same injector.
+    """
+    if fault_hook is None:
+        return 0
+    fault = fault_hook(sandbox, now_ns)
+    if fault is None:
+        return 0
+    if fault.kind == RESUME_FAULT_TRANSIENT:
+        raise TransientResumeError(
+            sandbox,
+            f"{sandbox.sandbox_id}: injected transient {path} resume error",
+        )
+    if fault.kind == RESUME_FAULT_HUNG:
+        # The command got far enough to flip the sandbox into RESUMING,
+        # then stalled forever; nothing was enqueued.
+        sandbox.require_state(SandboxState.PAUSED)
+        sandbox.transition(SandboxState.RESUMING)
+        raise HungResumeError(
+            sandbox, f"{sandbox.sandbox_id}: injected hung {path} resume"
+        )
+    if fault.kind == RESUME_FAULT_SLOW:
+        if fault.stall_ns < 0:
+            raise ValueError(f"negative stall {fault.stall_ns}")
+        return fault.stall_ns
+    raise ValueError(f"unknown resume fault kind {fault.kind!r}")
+
+
 class VanillaPauseResume:
     """Unmodified pause/resume, as shipped by Firecracker/KVM and Xen."""
 
@@ -87,6 +182,9 @@ class VanillaPauseResume:
         self._resume_lock_owner: Optional[str] = None
         self.resumes = 0
         self.pauses = 0
+        #: Optional per-resume fault decision (repro.resilience failure
+        #: domains): transient errors, latency stalls, permanent hangs.
+        self.fault_hook: Optional[ResumeFaultHook] = None
 
     # ------------------------------------------------------------------
     # Placement
@@ -140,6 +238,11 @@ class VanillaPauseResume:
     # ------------------------------------------------------------------
     def resume(self, sandbox: Sandbox, now_ns: int) -> ResumeResult:
         breakdown = Breakdown()
+
+        # Step 0 (chaos runs only): injected fault — may raise, may stall.
+        stall_ns = apply_resume_fault(self.fault_hook, sandbox, now_ns, "vanilla")
+        if stall_ns:
+            breakdown.add(STEP_STALL, round(stall_ns))
 
         # Step 1: parse input parameters.
         breakdown.add(STEP_PARSE, round(self.costs.resume_parse_ns))
@@ -202,6 +305,8 @@ class VanillaPauseResume:
             sandbox=sandbox.sandbox_id, path=path, vcpus=sandbox.vcpu_count,
         )
         phases = breakdown.phases
+        if phases.get(STEP_STALL):
+            timeline.phase("stall", phases[STEP_STALL], injected=True)
         timeline.phase("parse", phases.get(STEP_PARSE, 0))
         timeline.phase("lock", phases.get(STEP_LOCK, 0))
         timeline.phase("sanity", phases.get(STEP_SANITY, 0))

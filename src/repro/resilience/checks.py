@@ -1,0 +1,110 @@
+"""Resilience invariants, as ``repro.check``-style checkers.
+
+Each factory returns a ``Checker`` (``f(now_ns) -> list[str]``) that
+plugs straight into a :class:`repro.check.InvariantRegistry`:
+
+* :func:`breaker_checker` — every per-node circuit breaker only ever
+  walks legal state-machine edges, with monotone timestamps;
+* :func:`request_ledger_checker` — no request is both shed and
+  completed, shed requests never launched attempts, retry and hedge
+  budgets are respected;
+* :func:`all_resolved_checker` — end-of-run "no lost invocations": a
+  drained engine must leave every request in a terminal state
+  (COMPLETED, SHED, or FAILED);
+* :func:`cluster_accounting_checker` — per-host in-flight counts are
+  never negative and down hosts are not routed to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.check.invariants import Checker, InvariantRegistry, Trigger
+from repro.faas.cluster import FaaSCluster
+from repro.obs.context import Observability
+from repro.resilience.gateway import ResilientGateway
+
+
+def breaker_checker(gateway: ResilientGateway) -> Checker:
+    """Circuit-breaker state-machine legality across all hosts."""
+
+    def check(_now_ns: int) -> List[str]:
+        problems: List[str] = []
+        for breaker in gateway.breakers.values():
+            problems.extend(breaker.invariant_violations())
+        return problems
+
+    return check
+
+
+def request_ledger_checker(gateway: ResilientGateway) -> Checker:
+    """Ledger soundness: shed/completed exclusivity and budgets."""
+
+    def check(_now_ns: int) -> List[str]:
+        # Breaker problems are the breaker checker's job; filter them
+        # out so one corruption is not double-reported.
+        return [
+            message
+            for message in gateway.invariant_violations()
+            if message.startswith(("request ", "gateway:"))
+        ]
+
+    return check
+
+
+def all_resolved_checker(gateway: ResilientGateway) -> Checker:
+    """End-of-run: every submitted request reached a terminal state."""
+
+    def check(_now_ns: int) -> List[str]:
+        return gateway.unresolved_violations()
+
+    return check
+
+
+def cluster_accounting_checker(cluster: FaaSCluster) -> Checker:
+    """Routing-layer accounting: in-flight counts stay non-negative."""
+
+    def check(_now_ns: int) -> List[str]:
+        problems: List[str] = []
+        for index, count in cluster.in_flight.items():
+            if count < 0:
+                problems.append(
+                    f"host {index}: negative in-flight count {count}"
+                )
+        for index, health in enumerate(cluster.health):
+            if health.crashes < health.recoveries:
+                problems.append(
+                    f"host {index}: {health.recoveries} recoveries exceed "
+                    f"{health.crashes} crashes"
+                )
+        return problems
+
+    return check
+
+
+def resilience_registry(
+    gateway: ResilientGateway,
+    obs: Optional[Observability] = None,
+) -> InvariantRegistry:
+    """A registry with every resilience checker registered.
+
+    The ledger and breaker checkers run at boundaries during the run;
+    :func:`all_resolved_checker` is meaningful only once the engine has
+    drained, so callers invoke it via
+    ``registry.report("resilience.all_resolved", ...)`` (or simply call
+    the checker) at end of run — registering it mid-run would flag
+    ordinary in-flight work as lost.
+    """
+    registry = InvariantRegistry(obs=obs)
+    registry.register(
+        "resilience.breaker", breaker_checker(gateway), Trigger.BOUNDARY
+    )
+    registry.register(
+        "resilience.ledger", request_ledger_checker(gateway), Trigger.BOUNDARY
+    )
+    registry.register(
+        "resilience.cluster",
+        cluster_accounting_checker(gateway.cluster),
+        Trigger.BOUNDARY,
+    )
+    return registry

@@ -1,0 +1,244 @@
+"""Failure domains: seeded, replayable infrastructure failures.
+
+The injector models two independent failure domains over a
+:class:`~repro.faas.cluster.FaaSCluster`:
+
+* **node crashes** — whole hosts die and later recover.  Up-times are
+  exponential draws from a per-host seeded stream; crash and recovery
+  events go through the sim engine at ``EventPriority.FAILURE`` so a
+  crash landing on the same nanosecond as user work strikes first and
+  replays identically;
+* **resume faults** — individual pause/resume operations fail via the
+  hypervisor fault hooks: transient command errors (retryable), slow
+  resumes (latency spike), and hung resumes (permanent stall the
+  caller must time out).  Fault probability is per-host: a configurable
+  fraction of hosts are *flaky* and concentrate most of the faults,
+  which is exactly the asymmetry a circuit breaker exists to exploit.
+
+Everything derives from ``(seed, FailureConfig)``; two same-seed runs
+crash the same hosts at the same nanoseconds and fail the same resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faas.cluster import FaaSCluster
+from repro.hypervisor.pause_resume import (
+    RESUME_FAULT_HUNG,
+    RESUME_FAULT_SLOW,
+    RESUME_FAULT_TRANSIENT,
+    ResumeFault,
+)
+from repro.hypervisor.sandbox import Sandbox
+from repro.sim.event import EventPriority
+from repro.sim.rng import RngRegistry
+from repro.sim.units import milliseconds, seconds
+
+#: Every injectable failure kind, in documentation order.
+FAILURE_KINDS: Tuple[str, ...] = (
+    "node_crash",
+    RESUME_FAULT_TRANSIENT,
+    RESUME_FAULT_SLOW,
+    RESUME_FAULT_HUNG,
+)
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """One knob (``failure_rate``) plus its decomposition.
+
+    ``failure_rate`` in [0, 1) scales both domains: per-resume fault
+    probability on flaky hosts is ``min(0.9, failure_rate *
+    flaky_bias)`` (and ``failure_rate * calm_factor`` elsewhere), and
+    mean host up-time is ``crash_mtbf_base_s / failure_rate``.
+    """
+
+    failure_rate: float = 0.1
+    #: fraction of hosts that are flaky (at least one when rate > 0)
+    flaky_fraction: float = 0.25
+    #: fault-probability multiplier on flaky hosts
+    flaky_bias: float = 6.0
+    #: fault-probability multiplier on calm hosts
+    calm_factor: float = 0.2
+    #: relative weights of the three resume-fault kinds
+    transient_weight: float = 0.5
+    slow_weight: float = 0.3
+    hung_weight: float = 0.2
+    #: mean up-time = crash_mtbf_base_s / failure_rate
+    crash_mtbf_base_s: float = 1.0
+    #: mean down-time after a crash (jittered +/- 50 %)
+    recovery_ms: float = 400.0
+    #: stall added by a slow resume (jittered 0.5x - 1.5x)
+    slow_stall_us: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.transient_weight + self.slow_weight + self.hung_weight <= 0:
+            raise ValueError("resume-fault weights must sum > 0")
+
+    def resume_fault_probability(self, flaky: bool) -> float:
+        scale = self.flaky_bias if flaky else self.calm_factor
+        return min(0.9, self.failure_rate * scale)
+
+    def mean_uptime_ns(self) -> Optional[int]:
+        if self.failure_rate == 0.0:
+            return None
+        return seconds(self.crash_mtbf_base_s / self.failure_rate)
+
+
+class FailureInjector:
+    """Applies a :class:`FailureConfig` to one cluster, deterministically.
+
+    Usage::
+
+        injector = FailureInjector(cluster, config, seed=7)
+        injector.schedule_crashes(until_ns=seconds(10))
+        # hooks installed; run the engine
+
+    ``on_crash`` / ``on_recover`` listeners fire as ``f(index, now_ns)``
+    — the resilient gateway uses them to fail in-flight work and to
+    re-warm recovered hosts.
+    """
+
+    def __init__(
+        self, cluster: FaaSCluster, config: FailureConfig, seed: int = 0
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.seed = seed
+        self._rngs = RngRegistry(seed).fork("resilience-failures")
+        self.fired: Dict[str, int] = {kind: 0 for kind in FAILURE_KINDS}
+        self.on_crash: List[Callable[[int, int], None]] = []
+        self.on_recover: List[Callable[[int, int], None]] = []
+        self.flaky_hosts = self._pick_flaky_hosts()
+        self._install_resume_hooks()
+
+    # ------------------------------------------------------------------
+    def _pick_flaky_hosts(self) -> Tuple[int, ...]:
+        """Deterministically choose which hosts concentrate faults."""
+        if self.config.failure_rate == 0.0:
+            return ()
+        count = len(self.cluster.hosts)
+        flaky_count = max(1, round(count * self.config.flaky_fraction))
+        rng = self._rngs.stream("flaky-pick")
+        return tuple(sorted(rng.sample(range(count), flaky_count)))
+
+    def _install_resume_hooks(self) -> None:
+        for index, host in enumerate(self.cluster.hosts):
+            hook = self._make_resume_hook(index)
+            host.virt.vanilla.fault_hook = hook
+            host.horse.fault_hook = hook
+
+    def _make_resume_hook(self, index: int):
+        probability = self.config.resume_fault_probability(
+            index in self.flaky_hosts
+        )
+        rng = self._rngs.stream(f"resume:{index}")
+        weights = (
+            (RESUME_FAULT_TRANSIENT, self.config.transient_weight),
+            (RESUME_FAULT_SLOW, self.config.slow_weight),
+            (RESUME_FAULT_HUNG, self.config.hung_weight),
+        )
+        total_weight = sum(weight for _, weight in weights)
+
+        def hook(sandbox: Sandbox, now_ns: int) -> Optional[ResumeFault]:
+            if probability <= 0.0 or rng.random() >= probability:
+                return None
+            pick = rng.random() * total_weight
+            cursor = 0.0
+            kind = weights[-1][0]
+            for candidate, weight in weights:
+                cursor += weight
+                if pick < cursor:
+                    kind = candidate
+                    break
+            self.fired[kind] += 1
+            if kind == RESUME_FAULT_SLOW:
+                stall = round(
+                    self.config.slow_stall_us * 1000 * (0.5 + rng.random())
+                )
+                return ResumeFault(kind, stall_ns=stall)
+            return ResumeFault(kind)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    def schedule_crashes(self, until_ns: int) -> int:
+        """Pre-schedule every crash/recovery up to *until_ns*.
+
+        All times are drawn up front from per-host streams, so the
+        schedule is a pure function of ``(seed, config)`` regardless of
+        what the workload does.  Returns the number of crashes planned.
+        """
+        mean_up_ns = self.config.mean_uptime_ns()
+        if mean_up_ns is None:
+            return 0
+        engine = self.cluster.engine
+        recovery_ns = milliseconds(self.config.recovery_ms)
+        planned = 0
+        for index in range(len(self.cluster.hosts)):
+            rng = self._rngs.stream(f"crash:{index}")
+            t = engine.now
+            while True:
+                t += max(1, round(rng.expovariate(1.0 / mean_up_ns)))
+                if t >= until_ns:
+                    break
+                engine.schedule_at(
+                    t,
+                    lambda i=index: self._crash(i),
+                    priority=EventPriority.FAILURE,
+                    label=f"node-crash:{index}",
+                )
+                planned += 1
+                t += max(1, round(recovery_ns * (0.5 + rng.random())))
+                engine.schedule_at(
+                    t,
+                    lambda i=index: self._recover(i),
+                    priority=EventPriority.FAILURE,
+                    label=f"node-recover:{index}",
+                )
+        return planned
+
+    def _crash(self, index: int) -> None:
+        now = self.cluster.engine.now
+        if not self.cluster.health[index].up:
+            return  # already down (overlapping draw); recovery pending
+        lost = self.cluster.crash_host(index, now)
+        self.fired["node_crash"] += 1
+        host = self.cluster.hosts[index]
+        if host.obs.enabled:
+            host.obs.metrics.counter(
+                "failures.node_crash", "injected node crashes"
+            ).inc()
+            host.obs.tracer.record_instant(
+                "node.crash", now, category="resilience",
+                host=index, pooled_lost=lost,
+            )
+        host.trace.record(now, "failures", "crash", host=index, pooled_lost=lost)
+        for listener in self.on_crash:
+            listener(index, now)
+
+    def _recover(self, index: int) -> None:
+        now = self.cluster.engine.now
+        if self.cluster.health[index].up:
+            return
+        self.cluster.recover_host(index, now)
+        host = self.cluster.hosts[index]
+        if host.obs.enabled:
+            host.obs.tracer.record_instant(
+                "node.recover", now, category="resilience", host=index,
+            )
+        host.trace.record(now, "failures", "recover", host=index)
+        for listener in self.on_recover:
+            listener(index, now)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureInjector(rate={self.config.failure_rate}, "
+            f"flaky={list(self.flaky_hosts)}, fired={self.fired})"
+        )

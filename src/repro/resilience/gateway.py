@@ -1,0 +1,588 @@
+"""The resilient gateway: retries, hedging, breakers, and degradation.
+
+:class:`ResilientGateway` fronts a :class:`~repro.faas.cluster.FaaSCluster`
+and turns raw triggers into *requests* with failure semantics:
+
+* **admission control** — arrivals beyond the concurrency watermark are
+  shed at the door, lowest priority first (reserved headroom only
+  high-priority/uLL work may use);
+* **placement steering** — the cluster's placement policy only sees
+  healthy, breaker-admitted hosts (per-node circuit breakers are
+  installed as the cluster's ``host_gate``);
+* **retries** — transient resume errors, hung resumes (detected by an
+  attempt timeout) and node crashes re-dispatch the request with capped
+  exponential backoff and seeded full jitter, within a hard attempt
+  budget;
+* **degradation** — each failed attempt steps the request down the
+  hot → warm → cold ladder, and pool misses fall through to cold
+  explicitly;
+* **hedging** — uLL-class requests whose primary attempt is still
+  running after the hedge delay fire one tied attempt on a different
+  node; first completion wins.
+
+Every request reaches exactly one terminal state — COMPLETED, SHED, or
+FAILED — and the whole ledger is auditable by the ``repro.check``
+checkers in :mod:`repro.resilience.checks` (no request both shed and
+completed, retry budget respected, breaker state machine legal).
+
+Deadlines bound *retrying*, not an execution already in flight: once an
+attempt is executing it is allowed to finish (completions past the
+deadline still count), but no new attempt launches after the deadline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faas.cluster import FaaSCluster, NoHealthyHostError
+from repro.faas.invocation import Invocation, StartType
+from repro.hypervisor.pause_resume import HungResumeError, TransientResumeError
+from repro.obs.context import Observability, current as current_obs
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.resilience.degradation import (
+    AdmissionConfig,
+    AdmissionController,
+    DegradationStats,
+    degrade,
+    plan_with_ladder,
+)
+from repro.resilience.failures import FailureInjector
+from repro.resilience.retry import HedgePolicy, RetryPolicy
+from repro.sim.rng import RngRegistry
+from repro.sim.units import seconds
+
+
+class RequestState(enum.Enum):
+    IN_FLIGHT = "in-flight"
+    COMPLETED = "completed"
+    SHED = "shed"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self is not RequestState.IN_FLIGHT
+
+
+@dataclass
+class Attempt:
+    """One dispatch of a request onto one host."""
+
+    index: int
+    host: int
+    start_type: StartType
+    launched_ns: int
+    hedge: bool = False
+    #: "ok" while executing/completed; else "transient" | "hung" | "crash"
+    status: str = "ok"
+    invocation: Optional[Invocation] = None
+    executing: bool = False
+    #: the gateway's own completion callback event (cancellable)
+    completion_event: object = field(default=None, repr=False)
+
+
+@dataclass
+class Request:
+    """Ledger entry for one submitted invocation request."""
+
+    request_id: int
+    function: str
+    priority: int
+    submit_ns: int
+    deadline_ns: int
+    state: RequestState = RequestState.IN_FLIGHT
+    attempts: List[Attempt] = field(default_factory=list)
+    hedges_used: int = 0
+    no_host_waits: int = 0
+    executing: int = 0
+    completed_ns: Optional[int] = None
+    resolution: str = ""
+    #: current rung on the hot -> warm -> cold ladder
+    current_start: StartType = StartType.WARM
+    redundant_hedges: int = 0
+    run_logic: bool = False
+
+    @property
+    def primary_attempts(self) -> int:
+        return sum(1 for attempt in self.attempts if not attempt.hedge)
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.primary_attempts - 1)
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        if self.completed_ns is None:
+            return None
+        return self.completed_ns - self.submit_ns
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the resilient gateway composes, in one bundle."""
+
+    retry: RetryPolicy = RetryPolicy()
+    hedge: HedgePolicy = HedgePolicy()
+    #: None disables per-node circuit breakers (retries-only mode)
+    breaker: Optional[BreakerConfig] = BreakerConfig()
+    admission: AdmissionConfig = AdmissionConfig()
+    #: retry gate: no new attempt launches this long after submit
+    default_deadline_ns: int = seconds(10)
+    #: warm sandboxes re-provisioned per function when a host recovers
+    rewarm_per_host: int = 1
+
+
+class ResilientGateway:
+    """Failure-aware request layer over one cluster."""
+
+    def __init__(
+        self,
+        cluster: FaaSCluster,
+        config: ResilienceConfig = ResilienceConfig(),
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.obs = obs if obs is not None else current_obs()
+        self.engine = cluster.engine
+        self._rng = RngRegistry(seed).fork("resilient-gateway").stream("backoff")
+        self.requests: List[Request] = []
+        self.admission = AdmissionController(config.admission)
+        self.degradations = DegradationStats()
+        self.active = 0
+        self._inflight: Dict[int, List[Tuple[Request, Attempt]]] = {
+            i: [] for i in range(len(cluster.hosts))
+        }
+        self.breakers: Dict[int, CircuitBreaker] = {}
+        if config.breaker is not None:
+            self.breakers = {
+                i: CircuitBreaker(config.breaker, name=f"host-{i}", obs=self.obs)
+                for i in range(len(cluster.hosts))
+            }
+            cluster.host_gate = self._breaker_gate
+
+    # ------------------------------------------------------------------
+    def _breaker_gate(self, index: int) -> bool:
+        return self.breakers[index].allow(self.engine.now)
+
+    def attach(self, injector: FailureInjector) -> None:
+        """Subscribe to the injector's crash/recovery notifications."""
+        injector.on_crash.append(self._handle_crash)
+        injector.on_recover.append(self._handle_recover)
+
+    def _spec(self, function_name: str):
+        return self.cluster.hosts[0].registry.get(function_name)
+
+    def _counter(self, name: str, help_text: str = ""):
+        return self.obs.metrics.counter(name, help_text)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        function_name: str,
+        priority: int = 0,
+        deadline_ns: Optional[int] = None,
+        run_logic: bool = False,
+    ) -> Request:
+        """Admit (or shed) one request and start its first attempt."""
+        now = self.engine.now
+        spec = self._spec(function_name)
+        request = Request(
+            request_id=len(self.requests),
+            function=function_name,
+            priority=priority,
+            submit_ns=now,
+            deadline_ns=now + (deadline_ns or self.config.default_deadline_ns),
+            current_start=StartType.HORSE if spec.is_ull else StartType.WARM,
+            run_logic=run_logic,
+        )
+        self.requests.append(request)
+        if not self.admission.admit(priority, self.active):
+            request.state = RequestState.SHED
+            request.resolution = "admission-overload"
+            if self.obs.enabled:
+                self._counter(
+                    "resilience.shed", "requests shed by admission control"
+                ).inc()
+                self.obs.tracer.record_instant(
+                    "request.shed", now, category="resilience",
+                    function=function_name, priority=priority,
+                )
+            return request
+        self.active += 1
+        self._launch(request, hedge=False)
+        return request
+
+    # ------------------------------------------------------------------
+    # The attempt loop
+    # ------------------------------------------------------------------
+    def _launch(
+        self, request: Request, hedge: bool, exclude: Tuple[int, ...] = ()
+    ) -> None:
+        if request.state.terminal:
+            return
+        now = self.engine.now
+        if hedge:
+            if request.hedges_used >= self.config.hedge.max_hedges:
+                return
+        else:
+            if now >= request.deadline_ns:
+                self._maybe_fail(request, "deadline")
+                return
+            if request.primary_attempts >= self.config.retry.max_attempts:
+                self._maybe_fail(request, "retry-budget")
+                return
+        try:
+            with self.cluster.excluding(*exclude):
+                host_index = self.cluster.placement.choose(
+                    self.cluster, request.function
+                )
+        except NoHealthyHostError:
+            if hedge:
+                return  # hedging is best-effort; the primary is still out
+            request.no_host_waits += 1
+            delay = self.config.retry.backoff_ns(
+                max(1, request.primary_attempts + request.no_host_waits),
+                self._rng,
+            )
+            if self.obs.enabled:
+                self._counter(
+                    "resilience.no_host_wait",
+                    "attempt deferrals with no routable host",
+                ).inc()
+            self.engine.schedule_at(
+                now + delay,
+                lambda: self._launch(request, hedge=False),
+                label=f"resilience-rewait:{request.request_id}",
+            )
+            return
+
+        host = self.cluster.hosts[host_index]
+        planned, miss = plan_with_ladder(
+            host.pool.size(request.function), request.current_start
+        )
+        if miss is not None:
+            self.degradations.record(request.current_start, StartType.COLD)
+            if self.obs.enabled:
+                self._counter(
+                    f"resilience.degrade.{miss}", "pool-miss degradations"
+                ).inc()
+        breaker = self.breakers.get(host_index)
+        if breaker is not None:
+            breaker.on_attempt(now)
+        attempt = Attempt(
+            index=len(request.attempts),
+            host=host_index,
+            start_type=planned,
+            launched_ns=now,
+            hedge=hedge,
+        )
+        request.attempts.append(attempt)
+        if hedge:
+            request.hedges_used += 1
+            if self.obs.enabled:
+                self._counter("resilience.hedge", "hedged attempts fired").inc()
+        elif attempt.index > 0 and self.obs.enabled:
+            self._counter("resilience.retry", "retry attempts fired").inc()
+
+        try:
+            invocation = self.cluster.trigger_on(
+                host_index, request.function, planned, run_logic=request.run_logic
+            )
+        except TransientResumeError as exc:
+            # The sandbox is untouched (still PAUSED): give it back.
+            host.pool.release(request.function, exc.sandbox)
+            self._attempt_failed(
+                request, attempt, "transient",
+                retry_delay_ns=self.config.retry.backoff_ns(
+                    max(1, request.primary_attempts), self._rng
+                ),
+            )
+            return
+        except HungResumeError as exc:
+            # Stuck in RESUMING.  The client cannot see a hang — the
+            # attempt just never completes — so it stays "executing"
+            # until the hang timeout detects it (and a hedge may race it
+            # to completion in the meantime).
+            self._begin_hang(request, attempt, exc.sandbox, host_index)
+            return
+
+        attempt.invocation = invocation
+        attempt.executing = True
+        request.executing += 1
+        self._inflight[host_index].append((request, attempt))
+        attempt.completion_event = self.engine.schedule_at(
+            invocation.exec_end_ns,
+            lambda: self._on_complete(request, attempt),
+            label=f"resilience-complete:{request.request_id}.{attempt.index}",
+        )
+        if not hedge:
+            self._schedule_hedge(request, host_index, now)
+
+    def _schedule_hedge(
+        self, request: Request, primary_host: int, now: int
+    ) -> None:
+        spec = self._spec(request.function)
+        if (
+            self.config.hedge.enabled
+            and spec.is_ull
+            and request.hedges_used < self.config.hedge.max_hedges
+            and len(self.cluster.hosts) > 1
+        ):
+            self.engine.schedule_at(
+                now + self.config.hedge.delay_ns,
+                lambda: self._maybe_hedge(request, primary_host),
+                label=f"resilience-hedge:{request.request_id}",
+            )
+
+    def _maybe_hedge(self, request: Request, primary_host: int) -> None:
+        if request.state.terminal or request.executing == 0:
+            return
+        self._launch(request, hedge=True, exclude=(primary_host,))
+
+    def _begin_hang(
+        self, request: Request, attempt: Attempt, sandbox, host_index: int
+    ) -> None:
+        """A resume hung: the attempt looks in-flight until the timeout."""
+        now = self.engine.now
+        attempt.executing = True
+        request.executing += 1
+        self.engine.schedule_at(
+            now + self.config.retry.hang_timeout_ns,
+            lambda: self._on_hang_timeout(request, attempt, sandbox),
+            label=f"resilience-hang:{request.request_id}.{attempt.index}",
+        )
+        if not attempt.hedge:
+            self._schedule_hedge(request, host_index, now)
+
+    def _on_hang_timeout(self, request: Request, attempt: Attempt, sandbox) -> None:
+        """The hang timeout fired: write the attempt (and sandbox) off."""
+        now = self.engine.now
+        attempt.executing = False
+        attempt.status = "hung"
+        request.executing -= 1
+        self.cluster.hosts[attempt.host].destroy_sandbox(sandbox)
+        breaker = self.breakers.get(attempt.host)
+        if breaker is not None:
+            breaker.record_failure(now)
+        if self.obs.enabled:
+            self._counter(
+                "resilience.attempt_fail.hung", "failed attempts by kind"
+            ).inc()
+        if attempt.hedge or request.state.terminal:
+            return  # a hedge (or the completed race winner) owns the rest
+        previous = request.current_start
+        request.current_start = degrade(previous)
+        self.degradations.record(previous, request.current_start)
+        # The timeout itself was the wait; retry without further backoff.
+        self._launch(request, hedge=False)
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def _on_complete(self, request: Request, attempt: Attempt) -> None:
+        now = self.engine.now
+        attempt.executing = False
+        request.executing -= 1
+        self._forget_inflight(attempt.host, attempt)
+        breaker = self.breakers.get(attempt.host)
+        if breaker is not None:
+            breaker.record_success(now)
+        if request.state is RequestState.IN_FLIGHT:
+            request.state = RequestState.COMPLETED
+            request.completed_ns = now
+            request.resolution = f"attempt-{attempt.index}"
+            self.active -= 1
+            if self.obs.enabled:
+                self._counter(
+                    "resilience.complete", "requests completed"
+                ).inc()
+                self.obs.metrics.histogram(
+                    "request.latency_ns",
+                    help="submit -> completion, retries/backoff included",
+                ).observe(request.latency_ns or 0)
+        else:
+            request.redundant_hedges += 1
+            if self.obs.enabled:
+                self._counter(
+                    "resilience.hedge_redundant",
+                    "hedged attempts that lost the race",
+                ).inc()
+
+    def _attempt_failed(
+        self,
+        request: Request,
+        attempt: Attempt,
+        kind: str,
+        retry_delay_ns: int,
+    ) -> None:
+        now = self.engine.now
+        attempt.status = kind
+        breaker = self.breakers.get(attempt.host)
+        if breaker is not None:
+            breaker.record_failure(now)
+        if self.obs.enabled:
+            self._counter(
+                f"resilience.attempt_fail.{kind}", "failed attempts by kind"
+            ).inc()
+        if attempt.hedge:
+            return  # hedges are fire-once; the primary path owns retries
+        previous = request.current_start
+        request.current_start = degrade(previous)
+        self.degradations.record(previous, request.current_start)
+        self.engine.schedule_at(
+            now + retry_delay_ns,
+            lambda: self._launch(request, hedge=False),
+            label=f"resilience-retry:{request.request_id}",
+        )
+
+    def _maybe_fail(self, request: Request, reason: str) -> None:
+        """Fail the request — unless an attempt is still executing, in
+        which case that attempt decides the outcome."""
+        if request.executing > 0 or request.state.terminal:
+            return
+        request.state = RequestState.FAILED
+        request.resolution = reason
+        self.active -= 1
+        if self.obs.enabled:
+            self._counter(
+                f"resilience.fail.{reason}", "requests explicitly failed"
+            ).inc()
+            self.obs.tracer.record_instant(
+                "request.fail", self.engine.now, category="resilience",
+                function=request.function, reason=reason,
+                attempts=len(request.attempts),
+            )
+
+    def _forget_inflight(self, host_index: int, attempt: Attempt) -> None:
+        self._inflight[host_index] = [
+            pair for pair in self._inflight[host_index] if pair[1] is not attempt
+        ]
+
+    # ------------------------------------------------------------------
+    # Infrastructure events
+    # ------------------------------------------------------------------
+    def _handle_crash(self, host_index: int, now_ns: int) -> None:
+        """Fail every in-flight attempt on a crashed host and re-dispatch."""
+        victims = self._inflight[host_index]
+        self._inflight[host_index] = []
+        host = self.cluster.hosts[host_index]
+        breaker = self.breakers.get(host_index)
+        for request, attempt in victims:
+            invocation = attempt.invocation
+            assert invocation is not None
+            invocation.cancelled = True
+            if invocation.completion_event is not None:
+                invocation.completion_event.cancel()
+            if attempt.completion_event is not None:
+                attempt.completion_event.cancel()  # type: ignore[attr-defined]
+            if invocation.sandbox is not None:
+                host.destroy_sandbox(invocation.sandbox)
+            attempt.executing = False
+            attempt.status = "crash"
+            request.executing -= 1
+            if breaker is not None:
+                breaker.record_failure(now_ns)
+            if self.obs.enabled:
+                self._counter(
+                    "resilience.attempt_fail.crash", "failed attempts by kind"
+                ).inc()
+            if request.state.terminal:
+                continue
+            if attempt.hedge:
+                # The primary is still out (or its retry is scheduled).
+                continue
+            previous = request.current_start
+            request.current_start = degrade(previous)
+            self.degradations.record(previous, request.current_start)
+            delay = self.config.retry.backoff_ns(
+                max(1, request.primary_attempts), self._rng
+            )
+            self.engine.schedule_at(
+                now_ns + delay,
+                lambda r=request: self._launch(r, hedge=False),
+                label=f"resilience-crash-retry:{request.request_id}",
+            )
+
+    def _handle_recover(self, host_index: int, now_ns: int) -> None:
+        """Re-warm a recovered host so warm affinity can return to it."""
+        if self.config.rewarm_per_host < 1:
+            return
+        host = self.cluster.hosts[host_index]
+        for name in host.registry.names():
+            spec = host.registry.get(name)
+            host.provision_warm(
+                name, count=self.config.rewarm_per_host, use_horse=spec.is_ull
+            )
+        if self.obs.enabled:
+            self._counter(
+                "resilience.rewarm", "host recoveries re-warmed"
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Ledger queries & invariants
+    # ------------------------------------------------------------------
+    def by_state(self, state: RequestState) -> List[Request]:
+        return [r for r in self.requests if r.state is state]
+
+    def invariant_violations(self) -> List[str]:
+        """Ledger soundness (legal any time during a run)."""
+        violations: List[str] = []
+        for request in self.requests:
+            rid = f"request {request.request_id}"
+            if request.state is RequestState.SHED and request.attempts:
+                violations.append(f"{rid}: shed but has attempts")
+            if request.state is RequestState.SHED and request.completed_ns is not None:
+                violations.append(f"{rid}: both shed and completed")
+            if (
+                request.state is RequestState.COMPLETED
+                and request.completed_ns is None
+            ):
+                violations.append(f"{rid}: completed without a completion time")
+            if request.primary_attempts > self.config.retry.max_attempts:
+                violations.append(
+                    f"{rid}: {request.primary_attempts} primary attempts "
+                    f"exceed budget {self.config.retry.max_attempts}"
+                )
+            if request.hedges_used > self.config.hedge.max_hedges:
+                violations.append(
+                    f"{rid}: {request.hedges_used} hedges exceed budget "
+                    f"{self.config.hedge.max_hedges}"
+                )
+            if request.executing < 0:
+                violations.append(
+                    f"{rid}: negative executing count {request.executing}"
+                )
+        for breaker in self.breakers.values():
+            violations.extend(breaker.invariant_violations())
+        terminal_active = sum(
+            1
+            for r in self.requests
+            if r.state in (RequestState.IN_FLIGHT,)
+        )
+        if self.active != terminal_active:
+            violations.append(
+                f"gateway: active={self.active} but "
+                f"{terminal_active} requests are in flight"
+            )
+        return violations
+
+    def unresolved_violations(self) -> List[str]:
+        """End-of-run check: every request must be terminal ("no lost
+        invocations")."""
+        return [
+            f"request {r.request_id} ({r.function}) never resolved: "
+            f"{len(r.attempts)} attempts, executing={r.executing}"
+            for r in self.requests
+            if r.state is RequestState.IN_FLIGHT
+        ]
+
+    def __repr__(self) -> str:
+        states = {
+            state.value: len(self.by_state(state)) for state in RequestState
+        }
+        return f"ResilientGateway({states})"

@@ -27,6 +27,11 @@ class EventPriority(enum.IntEnum):
     """
 
     INTERRUPT = 0
+    #: Infrastructure failures (node crashes, recoveries).  A crash
+    #: scheduled at the same nanosecond as user work must strike first,
+    #: so the work observes the failed world — otherwise replay order
+    #: would depend on insertion order alone.
+    FAILURE = 5
     SCHEDULER = 10
     NORMAL = 20
     BACKGROUND = 30

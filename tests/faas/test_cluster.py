@@ -6,6 +6,7 @@ from repro.faas import FunctionSpec, StartType
 from repro.faas.cluster import (
     FaaSCluster,
     LeastLoadedPlacement,
+    NoHealthyHostError,
     RoundRobinPlacement,
     WarmAffinityPlacement,
 )
@@ -91,6 +92,92 @@ class TestWarmAffinity:
             return cluster.stats.cold_fallbacks
 
         assert run(WarmAffinityPlacement()) < run(RoundRobinPlacement())
+
+
+class TestRoutabilityUnderFailure:
+    """Placement must only ever see healthy, breaker-admitted hosts."""
+
+    def test_least_loaded_skips_crashed_host(self):
+        cluster = make_cluster(placement=LeastLoadedPlacement())
+        cluster.provision_warm("fw", per_host=2)
+        cluster.crash_host(0)
+        for _ in range(4):
+            cluster.trigger("fw", StartType.HORSE)
+        assert 0 not in cluster.stats.per_host_triggers
+
+    def test_warm_affinity_skips_crashed_host(self):
+        cluster = make_cluster(placement=WarmAffinityPlacement())
+        # Host 0 is the only warm host — then it dies.
+        cluster.hosts[0].provision_warm("fw", count=4)
+        cluster.hosts[1].provision_warm("fw", count=1)
+        cluster.crash_host(0)
+        cluster.trigger("fw", StartType.HORSE)
+        assert cluster.stats.per_host_triggers == {1: 1}
+
+    def test_round_robin_skips_crashed_host(self):
+        cluster = make_cluster(placement=RoundRobinPlacement())
+        cluster.provision_warm("fw", per_host=2)
+        cluster.crash_host(1)
+        for _ in range(4):
+            cluster.trigger("fw", StartType.HORSE)
+        assert 1 not in cluster.stats.per_host_triggers
+
+    def test_host_gate_vetoes_routing(self):
+        # The resilience layer points host_gate at per-node circuit
+        # breakers; an open breaker must steer placement away.
+        cluster = make_cluster(placement=LeastLoadedPlacement())
+        cluster.provision_warm("fw", per_host=2)
+        cluster.host_gate = lambda index: index != 0
+        for _ in range(4):
+            cluster.trigger("fw", StartType.HORSE)
+        assert 0 not in cluster.stats.per_host_triggers
+
+    def test_no_routable_host_raises(self):
+        cluster = make_cluster(hosts=2)
+        cluster.crash_host(0)
+        cluster.host_gate = lambda index: index != 1  # gate the survivor
+        with pytest.raises(NoHealthyHostError):
+            cluster.trigger("fw", StartType.HORSE)
+
+    def test_trigger_on_downed_host_rejected(self):
+        cluster = make_cluster()
+        cluster.provision_warm("fw", per_host=1)
+        cluster.crash_host(2)
+        with pytest.raises(NoHealthyHostError):
+            cluster.trigger_on(2, "fw", StartType.HORSE)
+
+    def test_crash_destroys_pool_and_counts(self):
+        cluster = make_cluster()
+        cluster.provision_warm("fw", per_host=2)
+        lost = cluster.crash_host(1)
+        assert lost == 2
+        assert cluster.hosts[1].pool.size("fw") == 0
+        assert cluster.stats.crashes == 1
+        assert not cluster.health[1].up
+
+    def test_warm_affinity_returns_after_recovery(self):
+        """Affinity redistributes back once a host recovers and re-warms."""
+        cluster = make_cluster(placement=WarmAffinityPlacement())
+        cluster.hosts[0].provision_warm("fw", count=8)
+        cluster.hosts[1].provision_warm("fw", count=1)
+        cluster.crash_host(0)
+        cluster.trigger("fw", StartType.HORSE)       # host 1: only warm one
+        cluster.recover_host(0)
+        cluster.hosts[0].provision_warm("fw", count=8)
+        cluster.engine.run(until=seconds(1))         # drain in-flight
+        for _ in range(3):
+            cluster.trigger("fw", StartType.HORSE)
+            cluster.engine.run(until=cluster.engine.now + seconds(1))
+        # Recovered, deeply-warm host 0 serves the follow-up traffic.
+        assert cluster.stats.per_host_triggers[0] >= 3
+        assert cluster.health[0].up and cluster.health[0].recoveries == 1
+
+    def test_excluding_is_scoped(self):
+        cluster = make_cluster(hosts=2, placement=LeastLoadedPlacement())
+        cluster.provision_warm("fw", per_host=2)
+        with cluster.excluding(0):
+            assert cluster.routable_hosts() == [1]
+        assert cluster.routable_hosts() == [0, 1]
 
 
 class TestEndToEnd:
