@@ -25,12 +25,8 @@ from repro.analysis.figures import (
     render_figure4,
 )
 from repro.analysis.tables import render_table1
-from repro.experiments.colocation import run_colocation
-from repro.experiments.figure2 import run_figure2
-from repro.experiments.figure3 import run_figure3
-from repro.experiments.figure4 import run_figure4
-from repro.experiments.overhead import run_overhead
-from repro.experiments.table1 import run_table1
+from repro.experiments.registry import ExperimentConfig
+from repro.experiments.registry import get as get_experiment
 from repro.faas.invocation import StartType
 
 
@@ -41,23 +37,23 @@ class ReportConfig:
     fast: bool = False
 
     @property
-    def reps(self) -> int:
-        return 3 if self.fast else self.repetitions
-
-    @property
-    def vcpu_counts(self) -> tuple:
-        return (1, 8, 36) if self.fast else (1, 2, 4, 8, 16, 24, 36)
-
-    @property
-    def colocation_vcpus(self) -> tuple:
-        return (1, 36) if self.fast else (1, 8, 16, 36)
+    def experiment_config(self) -> ExperimentConfig:
+        """The registry config matching this report's fidelity."""
+        return ExperimentConfig(fast=self.fast, seed=self.seed)
 
 
 def generate_report(config: Optional[ReportConfig] = None) -> str:
+    """Run the paper evaluation through the experiment registry.
+
+    Every result object is obtained via the registered specs (one
+    source of truth for fast/full parameters); this module only holds
+    the narrative that stitches the artifacts into Markdown.
+    """
     config = config or ReportConfig()
+    exp_config = config.experiment_config
     sections = ["# HORSE reproduction — full evaluation report\n"]
 
-    table1 = run_table1(repetitions=config.reps, seed=config.seed)
+    table1 = get_experiment("table1").run(exp_config).raw
     sections.append("## Table 1 — sandbox readiness per scenario\n")
     sections.append("```\n" + render_table1(table1) + "\n```\n")
 
@@ -69,9 +65,7 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
         + "\n```\n"
     )
 
-    figure2 = run_figure2(
-        vcpu_counts=config.vcpu_counts, repetitions=config.reps
-    )
+    figure2 = get_experiment("figure2").run(exp_config).raw
     sections.append("## Figure 2 — vanilla resume breakdown\n")
     sections.append("```\n" + render_figure2(figure2) + "\n```\n")
     sections.append(
@@ -82,9 +76,7 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
         "(paper: 87.5% -> 93.1%).\n"
     )
 
-    figure3 = run_figure3(
-        vcpu_counts=config.vcpu_counts, repetitions=config.reps
-    )
+    figure3 = get_experiment("figure3").run(exp_config).raw
     sections.append("## Figure 3 — resume time per setup\n")
     sections.append("```\n" + render_figure3(figure3) + "\n```\n")
     vanil_series = [figure3.mean_ns("vanil", v) for v in figure3.vcpu_counts()]
@@ -103,7 +95,7 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
         f"{figure3.horse_flatness():.3f} (paper: constant ~150 ns).\n"
     )
 
-    overhead = run_overhead(vcpu_counts=config.vcpu_counts, seed=config.seed)
+    overhead = get_experiment("overhead").run(exp_config).raw
     sections.append("## §5.2 — CPU and memory overhead of HORSE\n")
     peak_vcpus = max(overhead.vcpu_counts())
     sections.append(
@@ -119,7 +111,7 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
         f"{overhead.resume_cpu_delta_pct(peak_vcpus):.6f}% (paper: <= 2.7%)\n"
     )
 
-    figure4 = run_figure4(repetitions=config.reps, seed=config.seed)
+    figure4 = get_experiment("figure4").run(exp_config).raw
     sections.append("## Figure 4 — HORSE vs cold/restore/warm\n")
     sections.append("```\n" + render_figure4(figure4) + "\n```\n")
     sections.append(
@@ -137,9 +129,7 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
         "(paper: 142.84x).\n"
     )
 
-    colocation = run_colocation(
-        vcpu_counts=config.colocation_vcpus, seed=config.seed
-    )
+    colocation = get_experiment("colocation").run(exp_config).raw
     sections.append("## §5.4 — colocation with long-running functions\n")
     sections.append("```\n" + render_colocation(colocation) + "\n```\n")
     worst = max(colocation.vcpu_counts())

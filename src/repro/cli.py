@@ -4,6 +4,7 @@ Commands:
 
 * ``report``       — run the full evaluation, print/write Markdown;
 * ``experiment``   — run one paper artifact and print its table/series;
+* ``list``         — list experiment ids, titles, runtime estimates;
 * ``trace``        — run one artifact under the observability layer and
   export Perfetto-loadable Chrome JSON + lossless JSONL traces;
 * ``check``        — run one artifact under the correctness harness
@@ -11,86 +12,56 @@ Commands:
 * ``chaos``        — run the cluster chaos study under seeded
   infrastructure failures (crashes, resume faults) and compare
   resilience modes;
-* ``demo``         — the quickstart comparison of the four start paths;
-* ``list``         — list the available experiment ids.
+* ``bench``        — run the sim-kernel performance gate;
+* ``demo``         — the quickstart comparison of the four start paths.
+
+The ``experiment``/``list``/``trace`` commands drive off the experiment
+registry (:mod:`repro.experiments.registry`): registering a new
+:class:`~repro.experiments.registry.ExperimentSpec` makes it runnable
+and listable here with no CLI change.  Commands that run the simulation
+accept ``--scheduler heap|calendar`` to select the engine's pending-
+event structure (identical results either way; see DESIGN.md §10).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.analysis.figures import (
-    render_colocation,
-    render_figure1,
-    render_figure2,
-    render_figure3,
-    render_figure4,
-)
 from repro.analysis.report import ReportConfig, generate_report
-from repro.analysis.tables import render_table1
+from repro.experiments.registry import ExperimentConfig, all_specs
+from repro.experiments.registry import get as get_experiment
 
-EXPERIMENTS: Dict[str, str] = {
-    "table1": "Table 1 — init/exec/init% for cold/restore/warm x categories",
-    "figure1": "Figure 1 — init share per scenario",
-    "figure2": "Figure 2 — vanilla resume breakdown vs vCPUs",
-    "figure3": "Figure 3 — resume time: vanil/ppsm/coal/horse",
-    "figure4": "Figure 4 — init share incl. HORSE",
-    "overhead": "§5.2 — CPU and memory overhead",
-    "colocation": "§5.4 — colocation with long-running functions",
-}
+#: id -> title, derived from the registry (kept for compatibility — the
+#: registry is the source of truth).
+EXPERIMENTS: Dict[str, str] = {spec.id: spec.title for spec in all_specs()}
+
+
+def _apply_scheduler(args: argparse.Namespace) -> None:
+    """Make ``--scheduler`` the process-wide default when given."""
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler:
+        from repro.sim.engine import set_default_scheduler
+
+        set_default_scheduler(scheduler)
+
+
+def _add_scheduler_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler", choices=("heap", "calendar"), default=None,
+        help="engine pending-event structure (identical results; "
+        "calendar is faster at cluster scale)",
+    )
 
 
 def _run_experiment(name: str, fast: bool, seed: int, platform: str) -> str:
-    reps = 3 if fast else 10
-    sweep = (1, 8, 36) if fast else (1, 2, 4, 8, 16, 24, 36)
-    if name in ("table1", "figure1"):
-        from repro.experiments.table1 import run_table1
-
-        result = run_table1(repetitions=reps, seed=seed, platform=platform)
-        return render_table1(result) if name == "table1" else render_figure1(result)
-    if name == "figure2":
-        from repro.experiments.figure2 import run_figure2
-
-        return render_figure2(
-            run_figure2(vcpu_counts=sweep, repetitions=reps, platform=platform)
-        )
-    if name == "figure3":
-        from repro.experiments.figure3 import run_figure3
-
-        return render_figure3(
-            run_figure3(vcpu_counts=sweep, repetitions=reps, platform=platform)
-        )
-    if name == "figure4":
-        from repro.experiments.figure4 import run_figure4
-
-        return render_figure4(
-            run_figure4(repetitions=reps, seed=seed, platform=platform)
-        )
-    if name == "overhead":
-        from repro.experiments.overhead import run_overhead
-
-        result = run_overhead(
-            vcpu_counts=(1, 36) if fast else sweep, seed=seed, platform=platform
-        )
-        lines = []
-        for vcpus in result.vcpu_counts():
-            lines.append(
-                f"uLL vCPUs={vcpus}: mem delta "
-                f"{result.memory_delta_bytes(vcpus) / 1000:.1f} kB, "
-                f"pause CPU {result.pause_cpu_delta_pct(vcpus):.6f} %, "
-                f"resume CPU {result.resume_cpu_delta_pct(vcpus):.6f} %"
-            )
-        return "\n".join(lines)
-    if name == "colocation":
-        from repro.experiments.colocation import run_colocation
-
-        counts = (1, 36) if fast else (1, 8, 16, 36)
-        return render_colocation(
-            run_colocation(vcpu_counts=counts, seed=seed, platform=platform)
-        )
-    raise ValueError(f"unknown experiment {name!r}")
+    """Run one registered experiment, return its rendered summary."""
+    return (
+        get_experiment(name)
+        .run(ExperimentConfig(fast=fast, seed=seed, platform=platform))
+        .summary()
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -112,12 +83,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    print(f"== {EXPERIMENTS[args.name]} ({args.platform}) ==\n")
-    print(
-        _run_experiment(
-            args.name, fast=args.fast, seed=args.seed, platform=args.platform
-        )
+    _apply_scheduler(args)
+    spec = get_experiment(args.name)
+    result = spec.run(
+        ExperimentConfig(fast=args.fast, seed=args.seed, platform=args.platform)
     )
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(f"== {spec.title} ({args.platform}) ==\n")
+    print(result.summary())
     return 0
 
 
@@ -234,6 +209,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    _apply_scheduler(args)
     try:
         config = ChaosConfig(
             hosts=args.hosts,
@@ -250,9 +226,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    for name, description in sorted(EXPERIMENTS.items()):
-        print(f"{name:12s} {description}")
+    width = max(len(spec.id) for spec in all_specs())
+    for spec in all_specs():
+        print(f"{spec.id:{width}s}  ~{spec.fast_estimate_s:4.1f}s  {spec.title}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.gate import main as perf_gate_main
+
+    _apply_scheduler(args)
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.benches:
+        forwarded.extend(["--benches", args.benches])
+    if args.write:
+        forwarded.extend(["--write", args.write])
+    if args.check:
+        forwarded.append("--check")
+    if args.baseline:
+        forwarded.extend(["--baseline", args.baseline])
+    if args.require_speedup is not None:
+        forwarded.extend(["--require-speedup", str(args.require_speedup)])
+    forwarded.extend(["--tolerance", str(args.tolerance)])
+    forwarded.extend(["--seed", str(args.seed)])
+    return perf_gate_main(forwarded)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -300,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--platform", choices=("firecracker", "xen"), default="firecracker",
         help="hypervisor model (the paper evaluated both)",
     )
+    experiment.add_argument(
+        "--json", action="store_true",
+        help="print the result rows as JSON instead of the rendered table",
+    )
+    _add_scheduler_flag(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     trace = subparsers.add_parser(
@@ -356,9 +360,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--hosts", type=int, default=4)
     chaos.add_argument("--requests", type=int, default=1200)
+    _add_scheduler_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
-    lister = subparsers.add_parser("list", help="list experiment ids")
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the sim-kernel performance gate (see benchmarks/perf_gate.py)",
+    )
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--benches", type=str, default=None, metavar="A,B,...")
+    bench.add_argument("--write", type=str, default=None, metavar="PATH")
+    bench.add_argument("--check", action="store_true")
+    bench.add_argument("--baseline", type=str, default=None, metavar="PATH")
+    bench.add_argument("--tolerance", type=float, default=0.15)
+    bench.add_argument("--require-speedup", type=float, default=None, metavar="X")
+    _add_scheduler_flag(bench)
+    bench.set_defaults(func=_cmd_bench)
+
+    lister = subparsers.add_parser(
+        "list", help="list experiment ids, titles, and fast-mode estimates"
+    )
     lister.set_defaults(func=_cmd_list)
 
     demo = subparsers.add_parser("demo", help="compare the four start paths")

@@ -26,6 +26,15 @@ from repro.experiments.colocation import (
     run_colocation,
 )
 from repro.experiments.pool_study import PoolStudyResult, run_pool_study
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentSpec,
+    all_specs,
+    experiment_ids,
+    get,
+    register,
+)
 from repro.experiments.slo import SloResult, run_slo
 from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.figure3 import SETUPS, Figure3Result, run_figure3
@@ -50,6 +59,13 @@ __all__ = [
     "ablate_precompute_churn",
     "ablate_ull_runqueue_count",
     "ablate_skip_vs_coalesce",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_specs",
+    "experiment_ids",
+    "get",
+    "register",
     "PoolStudyResult",
     "run_pool_study",
     "SloResult",

@@ -1,0 +1,676 @@
+"""Unified experiment registry: every paper artifact behind one API.
+
+Each experiment the reproduction can run — a table, a figure, a study —
+is described by one :class:`ExperimentSpec`: an id, a human title, a
+fast-mode runtime estimate, and a runner that maps an
+:class:`ExperimentConfig` (fast/full, seed, platform) to the
+experiment's native result object.  ``spec.run(config)`` wraps that
+native result in an :class:`ExperimentResult`, which exposes the common
+protocol every consumer builds on:
+
+* ``summary()`` — the rendered fixed-width table/series (what the CLI
+  prints; byte-identical to the pre-registry output for the original
+  experiment ids);
+* ``rows()``    — the result flattened to a list of scalar dicts, for
+  programmatic consumers and JSON export;
+* ``to_json()`` — ``{"experiment", "title", "rows"}`` as a JSON string.
+
+The CLI's ``experiment``/``list``/``trace`` commands and the report
+generator drive off :func:`all_specs` — there is no separately
+maintained id→function table.  The original ``run_*`` entry points keep
+their signatures and remain the primitive layer; the registry is a
+veneer over them, so existing callers and tests are untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+_Scalar = (int, float, str, bool)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment runner.
+
+    ``fast`` selects the reduced parameter set (fewer repetitions,
+    sparser sweeps) used by tests and smoke runs; ``full`` runs the
+    paper-fidelity parameters.  ``platform`` selects the hypervisor
+    model where the experiment supports it; runners that model neither
+    hypervisor simply ignore it.
+    """
+
+    fast: bool = True
+    seed: int = 0
+    platform: str = "firecracker"
+
+    @property
+    def repetitions(self) -> int:
+        return 3 if self.fast else 10
+
+    @property
+    def vcpu_sweep(self) -> tuple:
+        return (1, 8, 36) if self.fast else (1, 2, 4, 8, 16, 24, 36)
+
+
+class ExperimentResult:
+    """Uniform wrapper over an experiment's native result object."""
+
+    def __init__(self, spec: "ExperimentSpec", raw: Any) -> None:
+        self.spec = spec
+        self.raw = raw
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The result as a flat list of scalar dicts."""
+        return self.spec.rows_fn(self.raw)
+
+    def summary(self) -> str:
+        """The rendered human-readable table/series."""
+        return self.spec.renderer(self.raw)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.spec.id,
+                "title": self.spec.title,
+                "rows": self.rows(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.spec.id!r}, {len(self.rows())} rows)"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable paper artifact.
+
+    ``runner`` maps a config to the experiment's native result;
+    ``renderer`` turns that result into the CLI's text output, and
+    ``rows_fn`` flattens it for JSON export.  ``fast_estimate_s`` is the
+    rough wall-clock of a fast-mode run (shown by ``repro list``).
+    """
+
+    id: str
+    title: str
+    fast_estimate_s: float
+    runner: Callable[[ExperimentConfig], Any]
+    renderer: Callable[[Any], str]
+    rows_fn: Callable[[Any], List[Dict[str, Any]]]
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        return ExperimentResult(self, self.runner(config or ExperimentConfig()))
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.id in _REGISTRY:
+        raise ValueError(f"experiment id {spec.id!r} registered twice")
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def get(experiment_id: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {', '.join(experiment_ids())}"
+        ) from None
+
+
+def experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> List[ExperimentSpec]:
+    return [_REGISTRY[experiment_id] for experiment_id in experiment_ids()]
+
+
+# ----------------------------------------------------------------------
+# Row flattening helpers
+# ----------------------------------------------------------------------
+def _scalarize(value: Any) -> Any:
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, _Scalar):
+        return value
+    return None
+
+
+def _object_row(obj: Any, extra: Sequence[str] = ()) -> Dict[str, Any]:
+    """Scalar fields of a dataclass, plus named computed properties."""
+    row: Dict[str, Any] = {}
+    if is_dataclass(obj):
+        for spec_field in fields(obj):
+            value = _scalarize(getattr(obj, spec_field.name))
+            if value is not None:
+                row[spec_field.name] = value
+    for name in extra:
+        value = _scalarize(getattr(obj, name))
+        if value is not None:
+            row[name] = value
+    return row
+
+
+def _grid_rows(result: Any) -> List[Dict[str, Any]]:
+    """Rows for a Table1-shaped grid of (category, scenario) cells."""
+    rows = []
+    for (category, scenario), cell in sorted(
+        result.cells.items(), key=lambda item: (item[0][0], item[0][1].value)
+    ):
+        rows.append(
+            {
+                "category": category,
+                "scenario": scenario.value,
+                "init_us_mean": cell.init_us.mean,
+                "exec_us_mean": cell.exec_us.mean,
+                "init_pct_mean": cell.init_pct.mean,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Runners — parameter choices identical to the pre-registry CLI.
+# ----------------------------------------------------------------------
+def _run_table1_grid(config: ExperimentConfig) -> Any:
+    from repro.experiments.table1 import run_table1
+
+    return run_table1(
+        repetitions=config.repetitions, seed=config.seed, platform=config.platform
+    )
+
+
+def _render_table1(result: Any) -> str:
+    from repro.analysis.tables import render_table1
+
+    return render_table1(result)
+
+
+def _render_figure1(result: Any) -> str:
+    from repro.analysis.figures import render_figure1
+
+    return render_figure1(result)
+
+
+def _run_figure2(config: ExperimentConfig) -> Any:
+    from repro.experiments.figure2 import run_figure2
+
+    return run_figure2(
+        vcpu_counts=config.vcpu_sweep,
+        repetitions=config.repetitions,
+        platform=config.platform,
+    )
+
+
+def _render_figure2(result: Any) -> str:
+    from repro.analysis.figures import render_figure2
+
+    return render_figure2(result)
+
+
+def _figure2_rows(result: Any) -> List[Dict[str, Any]]:
+    rows = []
+    for point in result.points:
+        row = {
+            "vcpus": point.vcpus,
+            "mean_total_ns": point.mean_total_ns,
+            "hot_share": point.hot_share,
+        }
+        for step, mean_ns in sorted(point.mean_step_ns.items()):
+            row[f"step_{step}_ns"] = mean_ns
+        rows.append(row)
+    return rows
+
+
+def _run_figure3(config: ExperimentConfig) -> Any:
+    from repro.experiments.figure3 import run_figure3
+
+    return run_figure3(
+        vcpu_counts=config.vcpu_sweep,
+        repetitions=config.repetitions,
+        platform=config.platform,
+    )
+
+
+def _render_figure3(result: Any) -> str:
+    from repro.analysis.figures import render_figure3
+
+    return render_figure3(result)
+
+
+def _figure3_rows(result: Any) -> List[Dict[str, Any]]:
+    rows = []
+    for setup in sorted(result.series):
+        for vcpus in result.vcpu_counts():
+            rows.append(
+                {
+                    "setup": setup,
+                    "vcpus": vcpus,
+                    "mean_ns": result.mean_ns(setup, vcpus),
+                }
+            )
+    return rows
+
+
+def _run_figure4(config: ExperimentConfig) -> Any:
+    from repro.experiments.figure4 import run_figure4
+
+    return run_figure4(
+        repetitions=config.repetitions, seed=config.seed, platform=config.platform
+    )
+
+
+def _render_figure4(result: Any) -> str:
+    from repro.analysis.figures import render_figure4
+
+    return render_figure4(result)
+
+
+def _run_overhead(config: ExperimentConfig) -> Any:
+    from repro.experiments.overhead import run_overhead
+
+    return run_overhead(
+        vcpu_counts=(1, 36) if config.fast else config.vcpu_sweep,
+        seed=config.seed,
+        platform=config.platform,
+    )
+
+
+def _render_overhead(result: Any) -> str:
+    lines = []
+    for vcpus in result.vcpu_counts():
+        lines.append(
+            f"uLL vCPUs={vcpus}: mem delta "
+            f"{result.memory_delta_bytes(vcpus) / 1000:.1f} kB, "
+            f"pause CPU {result.pause_cpu_delta_pct(vcpus):.6f} %, "
+            f"resume CPU {result.resume_cpu_delta_pct(vcpus):.6f} %"
+        )
+    return "\n".join(lines)
+
+
+def _overhead_rows(result: Any) -> List[Dict[str, Any]]:
+    return [
+        {
+            "vcpus": vcpus,
+            "memory_delta_bytes": result.memory_delta_bytes(vcpus),
+            "pause_cpu_delta_pct": result.pause_cpu_delta_pct(vcpus),
+            "resume_cpu_delta_pct": result.resume_cpu_delta_pct(vcpus),
+        }
+        for vcpus in result.vcpu_counts()
+    ]
+
+
+def _run_colocation(config: ExperimentConfig) -> Any:
+    from repro.experiments.colocation import run_colocation
+
+    return run_colocation(
+        vcpu_counts=(1, 36) if config.fast else (1, 8, 16, 36),
+        seed=config.seed,
+        platform=config.platform,
+    )
+
+
+def _render_colocation(result: Any) -> str:
+    from repro.analysis.figures import render_colocation
+
+    return render_colocation(result)
+
+
+def _colocation_rows(result: Any) -> List[Dict[str, Any]]:
+    rows = []
+    for (mode, ull_vcpus), run in sorted(result.runs.items()):
+        summary = run.summary()
+        row = _object_row(summary)
+        row.update({"mode": mode, "ull_vcpus": ull_vcpus})
+        rows.append(row)
+    return rows
+
+
+def _run_chaos(config: ExperimentConfig) -> Any:
+    from repro.experiments.chaos import ChaosConfig, run_chaos
+
+    chaos_config = (
+        ChaosConfig(hosts=2, requests=200, seed=config.seed)
+        if config.fast
+        else ChaosConfig(seed=config.seed)
+    )
+    return run_chaos(chaos_config)
+
+
+def _render_chaos(result: Any) -> str:
+    from repro.experiments.chaos import render_chaos
+
+    return render_chaos(result)
+
+
+def _chaos_rows(result: Any) -> List[Dict[str, Any]]:
+    return [
+        _object_row(result.outcomes[mode], extra=("p99_us", "ull_p50_us", "ull_p99_us"))
+        for mode in result.outcomes
+    ]
+
+
+def _run_cluster_study(config: ExperimentConfig) -> Any:
+    from repro.experiments.cluster_study import run_cluster_study
+
+    if config.fast:
+        return run_cluster_study(
+            hosts=2, functions=3, duration_s=10.0, seed=config.seed
+        )
+    return run_cluster_study(seed=config.seed)
+
+
+def _render_cluster_study(result: Any) -> str:
+    lines = [
+        f"{'policy':14s} {'triggers':>8s} {'cold':>6s} {'cold %':>7s} "
+        f"{'balance cv':>10s} {'init us':>9s}"
+    ]
+    for policy in result.policies():
+        outcome = result.outcome(policy)
+        lines.append(
+            f"{outcome.policy:14s} {outcome.triggers:8d} "
+            f"{outcome.cold_fallbacks:6d} {100 * outcome.cold_rate:6.2f}% "
+            f"{outcome.balance_cv:10.3f} {outcome.mean_init_us:9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cluster_study_rows(result: Any) -> List[Dict[str, Any]]:
+    return [
+        _object_row(result.outcome(policy), extra=("cold_rate",))
+        for policy in result.policies()
+    ]
+
+
+def _run_pool_study(config: ExperimentConfig) -> Any:
+    from repro.experiments.pool_study import run_pool_study
+
+    if config.fast:
+        return run_pool_study(functions=4, duration_s=30.0, seed=config.seed)
+    return run_pool_study(seed=config.seed)
+
+
+def _render_pool_study(result: Any) -> str:
+    lines = [
+        f"{'policy':14s} {'triggers':>8s} {'hits':>6s} {'hit %':>7s} "
+        f"{'cold':>6s} {'evict':>6s} {'peak':>5s} {'init us':>9s}"
+    ]
+    for name in result.policy_names():
+        outcome = result.outcome(name)
+        lines.append(
+            f"{outcome.policy_name:14s} {outcome.triggers:8d} "
+            f"{outcome.warm_hits:6d} {100 * outcome.hit_rate:6.2f}% "
+            f"{outcome.cold_starts:6d} {outcome.evictions:6d} "
+            f"{outcome.peak_pooled:5d} {outcome.mean_init_us:9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _pool_study_rows(result: Any) -> List[Dict[str, Any]]:
+    return [
+        _object_row(result.outcome(name), extra=("hit_rate",))
+        for name in result.policy_names()
+    ]
+
+
+def _run_slo(config: ExperimentConfig) -> Any:
+    from repro.experiments.slo import run_slo
+
+    return run_slo(
+        invocations=50 if config.fast else 200,
+        seed=config.seed,
+        platform=config.platform,
+    )
+
+
+def _render_slo(result: Any) -> str:
+    lines = [f"{'category':16s} {'scenario':10s} {'budget us':>10s} {'attained':>9s}"]
+    for (category, scenario), cell in sorted(
+        result.cells.items(), key=lambda item: (item[0][0], item[0][1].value)
+    ):
+        lines.append(
+            f"{category:16s} {scenario.value:10s} "
+            f"{cell.budget_ns / 1000:10.1f} "
+            f"{100 * cell.attainment:8.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def _slo_rows(result: Any) -> List[Dict[str, Any]]:
+    return [
+        _object_row(cell, extra=("attainment",))
+        for _key, cell in sorted(
+            result.cells.items(), key=lambda item: (item[0][0], item[0][1].value)
+        )
+    ]
+
+
+def _run_transport(config: ExperimentConfig) -> Any:
+    from repro.experiments.transport_sensitivity import run_transport_sensitivity
+
+    return run_transport_sensitivity(
+        invocations=30 if config.fast else 100, seed=config.seed
+    )
+
+
+def _render_transport(result: Any) -> str:
+    lines = [
+        f"{'transport':12s} {'scenario':10s} {'overhead %':>10s} "
+        f"{'transport ns':>13s} {'init ns':>10s}"
+    ]
+    for (transport, scenario), cell in sorted(
+        result.cells.items(), key=lambda item: (item[0][0], item[0][1].value)
+    ):
+        lines.append(
+            f"{transport:12s} {scenario.value:10s} "
+            f"{cell.mean_overhead_pct:10.3f} {cell.mean_transport_ns:13.1f} "
+            f"{cell.mean_init_ns:10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _transport_rows(result: Any) -> List[Dict[str, Any]]:
+    return [
+        _object_row(cell)
+        for _key, cell in sorted(
+            result.cells.items(), key=lambda item: (item[0][0], item[0][1].value)
+        )
+    ]
+
+
+def _run_ablations(config: ExperimentConfig) -> Dict[str, Any]:
+    from repro.experiments.ablations import (
+        ablate_mechanism_split,
+        ablate_platform,
+        ablate_precompute_churn,
+        ablate_ull_runqueue_count,
+    )
+
+    results: Dict[str, Any] = {
+        "ull_runqueue_count": ablate_ull_runqueue_count(
+            queue_counts=(1, 4) if config.fast else (1, 2, 4, 8)
+        ),
+        "mechanism_split": ablate_mechanism_split(),
+    }
+    if not config.fast:
+        results["precompute_churn"] = ablate_precompute_churn()
+        results["platform"] = ablate_platform()
+    return results
+
+
+def _render_ablations(results: Dict[str, Any]) -> str:
+    lines = []
+    current = None
+    for row in _ablations_rows(results):
+        name = row.pop("ablation")
+        if name != current:
+            lines.append(f"== {name} ==")
+            current = name
+        parts = [f"{k}={v}" for k, v in sorted(row.items())]
+        lines.append("  " + " ".join(parts))
+    return "\n".join(lines)
+
+
+def _ablations_rows(results: Dict[str, Any]) -> List[Dict[str, Any]]:
+    rows = []
+    for name in sorted(results):
+        value = results[name]
+        points = value if isinstance(value, list) else [value]
+        for point in points:
+            row = _object_row(point)
+            if name == "mechanism_split":
+                # Its payload is a step -> (vanilla, horse) dict; flatten
+                # to the per-step saving the figure actually reports.
+                for step in sorted(point.steps):
+                    row[f"saving_{step}_ns"] = point.saving_ns(step)
+                row["total_saving_ns"] = point.total_saving_ns()
+            row["ablation"] = name
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# The registry itself.  Titles for the original CLI ids are kept
+# byte-identical to the pre-registry table so existing output and tests
+# are unchanged.
+# ----------------------------------------------------------------------
+register(
+    ExperimentSpec(
+        id="table1",
+        title="Table 1 — init/exec/init% for cold/restore/warm x categories",
+        fast_estimate_s=1.0,
+        runner=_run_table1_grid,
+        renderer=_render_table1,
+        rows_fn=_grid_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="figure1",
+        title="Figure 1 — init share per scenario",
+        fast_estimate_s=1.0,
+        runner=_run_table1_grid,
+        renderer=_render_figure1,
+        rows_fn=_grid_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="figure2",
+        title="Figure 2 — vanilla resume breakdown vs vCPUs",
+        fast_estimate_s=1.0,
+        runner=_run_figure2,
+        renderer=_render_figure2,
+        rows_fn=_figure2_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="figure3",
+        title="Figure 3 — resume time: vanil/ppsm/coal/horse",
+        fast_estimate_s=2.0,
+        runner=_run_figure3,
+        renderer=_render_figure3,
+        rows_fn=_figure3_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="figure4",
+        title="Figure 4 — init share incl. HORSE",
+        fast_estimate_s=1.0,
+        runner=_run_figure4,
+        renderer=_render_figure4,
+        rows_fn=lambda result: _grid_rows(result.grid),
+    )
+)
+register(
+    ExperimentSpec(
+        id="overhead",
+        title="§5.2 — CPU and memory overhead",
+        fast_estimate_s=1.0,
+        runner=_run_overhead,
+        renderer=_render_overhead,
+        rows_fn=_overhead_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="colocation",
+        title="§5.4 — colocation with long-running functions",
+        fast_estimate_s=4.0,
+        runner=_run_colocation,
+        renderer=_render_colocation,
+        rows_fn=_colocation_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="chaos",
+        title="Chaos — resilience modes under seeded failures",
+        fast_estimate_s=6.0,
+        runner=_run_chaos,
+        renderer=_render_chaos,
+        rows_fn=_chaos_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="cluster_study",
+        title="Cluster — placement policies on a multi-host cluster",
+        fast_estimate_s=3.0,
+        runner=_run_cluster_study,
+        renderer=_render_cluster_study,
+        rows_fn=_cluster_study_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="pool_study",
+        title="Pools — keep-alive policies on an Azure-style trace",
+        fast_estimate_s=2.0,
+        runner=_run_pool_study,
+        renderer=_render_pool_study,
+        rows_fn=_pool_study_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="slo",
+        title="SLO — deadline attainment per (category, scenario)",
+        fast_estimate_s=2.0,
+        runner=_run_slo,
+        renderer=_render_slo,
+        rows_fn=_slo_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="transport_sensitivity",
+        title="Transport — trigger-transport overhead sensitivity",
+        fast_estimate_s=1.0,
+        runner=_run_transport,
+        renderer=_render_transport,
+        rows_fn=_transport_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="ablations",
+        title="Ablations — runqueue count, churn, platform, mechanism split",
+        fast_estimate_s=2.0,
+        runner=_run_ablations,
+        renderer=_render_ablations,
+        rows_fn=_ablations_rows,
+    )
+)

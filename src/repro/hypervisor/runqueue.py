@@ -25,6 +25,18 @@ from repro.obs.context import NULL_OBS, Observability
 class RunQueue:
     """A single core's sorted queue of runnable vCPUs."""
 
+    __slots__ = (
+        "runqueue_id",
+        "core_id",
+        "timeslice_ns",
+        "reserved_for_ull",
+        "obs",
+        "entities",
+        "load",
+        "enqueue_count",
+        "dequeue_count",
+    )
+
     def __init__(
         self,
         runqueue_id: int,

@@ -34,7 +34,7 @@ KIND_SPAN = "span"
 KIND_INSTANT = "instant"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One named, attributed interval on a (pid, tid) track."""
 

@@ -1,0 +1,15 @@
+"""Performance gate: sim-kernel benchmarks and the regression check.
+
+See :mod:`repro.perf.gate` for the benchmark definitions and the
+``BENCH_sim_kernel.json`` schema, ``benchmarks/perf_gate.py`` for the
+standalone entry point, and ``repro bench`` for the CLI front end.
+"""
+
+from repro.perf.gate import (
+    BENCH_BASELINE,
+    run_benches,
+    check_against_baseline,
+    main,
+)
+
+__all__ = ["BENCH_BASELINE", "run_benches", "check_against_baseline", "main"]

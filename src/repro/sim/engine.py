@@ -1,36 +1,89 @@
 """The discrete-event simulation engine.
 
-A classic event-heap kernel: callers schedule callbacks at future
-simulated instants; :meth:`Engine.run` pops events in time order,
-advances the clock, and invokes them.  All higher layers (hypervisor,
-FaaS platform, experiments) are built on this single primitive plus the
+Callers schedule callbacks at future simulated instants;
+:meth:`Engine.run` pops events in time order, advances the clock, and
+invokes them.  All higher layers (hypervisor, FaaS platform,
+experiments) are built on this single primitive plus the
 generator-based processes in :mod:`repro.sim.process`.
 
+The pending-event set is pluggable (``Engine(scheduler="heap")`` or
+``"calendar"`` — see :mod:`repro.sim.schedulers`): a binary heap, or a
+calendar queue with amortized O(1) push/pop for throughput-bound runs.
+Both drain events in the identical total order, so the choice never
+changes results, only wall-clock.  The process-wide default comes from
+:func:`set_default_scheduler` or the ``REPRO_SIM_SCHEDULER``
+environment variable.
+
+Hot-path design (see DESIGN.md §10): events are ``__slots__`` objects;
+events whose handles the call site discards (process sleeps, wake-ups)
+are marked *transient* and recycled through a free-list instead of
+being reallocated; and :meth:`Engine.run` keeps a no-watcher dispatch
+branch whose per-event work is one scheduler pop, one clock store, and
+the callback itself.
+
 Determinism contract: given the same schedule calls in the same order
-and the same seeded RNG streams, a run is bit-for-bit reproducible.
-Nothing in the engine consults wall-clock time or unseeded randomness.
+and the same seeded RNG streams, a run is bit-for-bit reproducible —
+whichever scheduler is selected.  Nothing in the engine consults
+wall-clock time or unseeded randomness.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Iterable, Optional
+import os
+from typing import Callable, List, Optional
 
 from repro.sim.clock import SimClock
 from repro.sim.errors import EngineStoppedError, SchedulingInPastError
 from repro.sim.event import Event, EventPriority
+from repro.sim.schedulers import make_scheduler, scheduler_kinds
+
+#: Upper bound on pooled Event objects per engine.  Beyond this the
+#: free-list stops growing and surplus events fall to the allocator.
+_POOL_CAP = 4096
+
+_ENV_SCHEDULER = "REPRO_SIM_SCHEDULER"
+
+_default_scheduler = os.environ.get(_ENV_SCHEDULER, "heap")
+if _default_scheduler not in scheduler_kinds():
+    _default_scheduler = "heap"
+
+
+def set_default_scheduler(kind: str) -> str:
+    """Set the scheduler new :class:`Engine` instances use by default.
+
+    Returns the previous default.  Engines built with an explicit
+    ``scheduler=`` argument are unaffected.
+    """
+    global _default_scheduler
+    if kind not in scheduler_kinds():
+        raise ValueError(
+            f"unknown scheduler {kind!r}; choose from {scheduler_kinds()}"
+        )
+    previous = _default_scheduler
+    _default_scheduler = kind
+    return previous
+
+
+def default_scheduler() -> str:
+    """The scheduler kind new engines currently default to."""
+    return _default_scheduler
 
 
 class Engine:
-    """Event-heap discrete-event simulation engine."""
+    """Discrete-event simulation engine with pluggable schedulers."""
 
-    def __init__(self, start_time: int = 0) -> None:
+    def __init__(self, start_time: int = 0, scheduler: Optional[str] = None) -> None:
         self.clock = SimClock(start_time)
-        self._heap: list[Event] = []
+        self._sched = make_scheduler(scheduler or _default_scheduler)
+        # Bound method cached once: the scheduler never changes after
+        # construction and every schedule_* call pushes exactly once.
+        self._push = self._sched.push
         self._sequence = 0
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._pool: List[Event] = []
+        self._pool_cap = _POOL_CAP
         #: callbacks invoked as f(event) after each executed event —
         #: how the repro.check invariant registry observes every step.
         self._watchers: list[Callable[[Event], None]] = []
@@ -44,6 +97,11 @@ class Engine:
         return self.clock.now
 
     @property
+    def scheduler(self) -> str:
+        """The scheduler kind this engine runs on ("heap"/"calendar")."""
+        return self._sched.kind
+
+    @property
     def events_executed(self) -> int:
         """Number of events the engine has fired so far."""
         return self._events_executed
@@ -54,23 +112,44 @@ class Engine:
         callback: Callable[[], None],
         priority: int = EventPriority.NORMAL,
         label: str = "",
+        transient: bool = False,
     ) -> Event:
-        """Schedule *callback* at absolute simulated time *when*."""
+        """Schedule *callback* at absolute simulated time *when*.
+
+        ``transient=True`` is a promise that the caller discards the
+        returned handle: the engine may then recycle the Event object
+        through its free-list after the event fires or is skipped.
+        Never retain (or cancel) a transient event past its instant.
+        """
         if self._stopped:
             raise EngineStoppedError("cannot schedule on a stopped engine")
-        if when < self.clock.now:
+        if when < self.clock._now:
             raise SchedulingInPastError(
-                f"cannot schedule at {when}, now is {self.clock.now}"
+                f"cannot schedule at {when}, now is {self.clock._now}"
             )
-        event = Event(
-            time=when,
-            priority=int(priority),
-            sequence=self._sequence,
-            callback=callback,
-            label=label,
-        )
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
+        if type(priority) is not int:
+            priority = int(priority)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        if transient and self._pool:
+            event = self._pool.pop()
+            event.time = when
+            event.priority = priority
+            event.sequence = sequence
+            event.callback = callback
+            event.cancelled = False
+            event.label = label
+            event.generation += 1
+        else:
+            event = Event(
+                time=when,
+                priority=priority,
+                sequence=sequence,
+                callback=callback,
+                label=label,
+                transient=transient,
+            )
+        self._push(event)
         return event
 
     def schedule_after(
@@ -79,51 +158,110 @@ class Engine:
         callback: Callable[[], None],
         priority: int = EventPriority.NORMAL,
         label: str = "",
+        transient: bool = False,
     ) -> Event:
         """Schedule *callback* after *delay* nanoseconds from now."""
         if delay < 0:
             raise SchedulingInPastError(f"negative delay {delay}")
-        return self.schedule_at(self.clock.now + delay, callback, priority, label)
+        return self.schedule_at(
+            self.clock._now + delay, callback, priority, label, transient
+        )
+
+    def schedule_transient_after(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        priority: int = 20,
+        label: str = "",
+    ) -> None:
+        """Lean transient scheduling for the process-layer hot path.
+
+        Equivalent to ``schedule_after(..., transient=True)`` with the
+        handle discarded, minus the per-call overhead that path pays:
+        no Event returned, no enum coercion (*priority* must already be
+        a plain int), one combined bounds check.  Every simulated
+        sleep, wake-up, and spawn/join hop funnels through here, which
+        is why it exists.
+        """
+        if delay < 0 or self._stopped:
+            if self._stopped:
+                raise EngineStoppedError("cannot schedule on a stopped engine")
+            raise SchedulingInPastError(f"negative delay {delay}")
+        when = self.clock._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = when
+            event.priority = priority
+            event.sequence = sequence
+            event.callback = callback
+            event.cancelled = False
+            event.label = label
+            event.generation += 1
+        else:
+            event = Event(
+                time=when,
+                priority=priority,
+                sequence=sequence,
+                callback=callback,
+                label=label,
+                transient=True,
+            )
+        self._push(event)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, *until* is reached, or
+        """Run events until the queue drains, *until* is reached, or
         *max_events* have fired.  Returns the number of events executed
         by this call.
 
         When *until* is given, the clock is left exactly at *until* even
-        if the heap drains earlier, so back-to-back ``run(until=...)``
+        if the queue drains earlier, so back-to-back ``run(until=...)``
         calls tile time contiguously.
         """
         if self._stopped:
             raise EngineStoppedError("engine has been stopped")
         executed = 0
         self._running = True
+        clock = self.clock
+        pop_due = self._sched.pop_due
         try:
-            while self._heap:
-                if max_events is not None and executed >= max_events:
-                    break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                event = heapq.heappop(self._heap)
-                self.clock.advance_to(event.time)
-                event.callback()
-                executed += 1
-                self._events_executed += 1
-                if self._watchers:
+            if max_events is None and not self._watchers:
+                # Fast path: no step budget, no observers.  Each
+                # scheduler ships its own inlined dispatch loop.
+                executed = self._sched.drain(self, until)
+            else:
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    event = pop_due(until)
+                    if event is None:
+                        break
+                    if event.cancelled:
+                        self._recycle(event)
+                        continue
+                    clock.advance_to(event.time)
+                    event.callback()
+                    executed += 1
+                    self._events_executed += 1
                     for watcher in self._watchers:
                         watcher(event)
+                    self._recycle(event)
         finally:
             self._running = False
-        if until is not None and self.clock.now < until:
-            self.clock.advance_to(until)
+        if until is not None and clock._now < until:
+            clock.advance_to(until)
         return executed
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired/skipped transient event to the free-list."""
+        if event.transient and len(self._pool) < _POOL_CAP:
+            event.callback = None
+            self._pool.append(event)
 
     def step(self) -> bool:
         """Fire exactly one pending event.  Returns False if none left."""
@@ -131,20 +269,36 @@ class Engine:
 
     def peek_next_time(self) -> Optional[int]:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        sched = self._sched
+        while True:
+            event = sched.peek()
+            if event is None:
+                return None
+            if not event.cancelled:
+                return event.time
+            sched.pop_due(None)
+            self._recycle(event)
 
-    def pending_events(self) -> Iterable[Event]:
-        """Snapshot of non-cancelled pending events (unsorted)."""
-        return [event for event in self._heap if not event.cancelled]
+    def pending_events(self) -> List[Event]:
+        """Sorted snapshot of non-cancelled pending events.
+
+        The snapshot is ordered by the firing order ``(time, priority,
+        sequence)`` regardless of which scheduler backs the engine —
+        callers (invariant checkers, tests, debuggers) see the exact
+        sequence the engine would drain, never raw heap or bucket
+        layout.  Mutating the returned list does not affect the engine.
+        """
+        return sorted(
+            (event for event in self._sched.iter_pending() if not event.cancelled),
+        )
 
     def add_watcher(self, watcher: Callable[[Event], None]) -> None:
         """Call *watcher(event)* after every executed event.
 
         Watchers must not schedule or mutate simulation state; they
         exist for cross-cutting observation (invariant checking, test
-        assertions).  An idle engine pays nothing for an empty list.
+        assertions).  An idle engine pays nothing for an empty list —
+        the no-watcher dispatch branch never consults it.
         """
         self._watchers.append(watcher)
 
@@ -156,10 +310,11 @@ class Engine:
     def stop(self) -> None:
         """Permanently stop the engine; further scheduling raises."""
         self._stopped = True
-        self._heap.clear()
+        self._sched.clear()
+        self._pool.clear()
 
     def __repr__(self) -> str:
         return (
-            f"Engine(now={self.clock.now}, pending={len(self._heap)}, "
-            f"executed={self._events_executed})"
+            f"Engine(now={self.clock.now}, scheduler={self._sched.kind}, "
+            f"pending={len(self._sched)}, executed={self._events_executed})"
         )

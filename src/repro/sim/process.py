@@ -13,6 +13,13 @@ sequential style::
 The engine resumes the generator when the yielded condition is met.
 Processes are cooperative and single-threaded; all concurrency is
 simulated, which keeps runs deterministic.
+
+Hot-path notes: every sleep, wake-up, spawn hop, and join hop becomes
+one engine event, which makes this module the engine's biggest caller.
+All of those events are scheduled *transient* — the handles are
+discarded here, so the engine recycles the Event objects through its
+free-list — and the per-event labels are precomputed per process /
+waitable instead of being formatted per schedule.
 """
 
 from __future__ import annotations
@@ -22,13 +29,14 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.errors import ProcessError
-from repro.sim.event import EventPriority
 
 ProcessGenerator = Generator["Command", Any, Any]
 
 
 class Command:
     """Base class for values a process may yield to the engine."""
+
+    __slots__ = ()
 
 
 @dataclass
@@ -72,9 +80,13 @@ class Waitable:
     registered since the previous fire.
     """
 
+    __slots__ = ("_engine", "_label", "_wake_label", "_waiters",
+                 "fire_count", "last_value")
+
     def __init__(self, engine: Engine, label: str = "") -> None:
         self._engine = engine
         self._label = label
+        self._wake_label = f"wake:{label}"
         self._waiters: list[Callable[[Any], None]] = []
         self.fire_count = 0
         self.last_value: Any = None
@@ -87,15 +99,11 @@ class Waitable:
         self.fire_count += 1
         self.last_value = value
         waiters, self._waiters = self._waiters, []
+        schedule = self._engine.schedule_transient_after
         for wake in waiters:
-            # Wake via the event heap so ordering with other same-instant
+            # Wake via the event queue so ordering with other same-instant
             # events stays deterministic.
-            self._engine.schedule_after(
-                0,
-                lambda wake=wake: wake(value),
-                priority=EventPriority.NORMAL,
-                label=f"wake:{self._label}",
-            )
+            schedule(0, lambda wake=wake: wake(value), label=self._wake_label)
 
     def __repr__(self) -> str:
         return f"Waitable({self._label!r}, waiters={len(self._waiters)})"
@@ -104,10 +112,14 @@ class Waitable:
 class Process:
     """A running simulated process driving a generator to completion."""
 
+    __slots__ = ("_engine", "_generator", "label", "_sleep_label", "done",
+                 "result", "error", "_completion", "_started")
+
     def __init__(self, engine: Engine, generator: ProcessGenerator, label: str = "") -> None:
         self._engine = engine
         self._generator = generator
         self.label = label or getattr(generator, "__name__", "process")
+        self._sleep_label = f"sleep:{self.label}"
         self.done = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
@@ -120,7 +132,9 @@ class Process:
         if self._started:
             raise ProcessError(f"process {self.label!r} already started")
         self._started = True
-        self._engine.schedule_after(0, lambda: self._advance(None), label=f"start:{self.label}")
+        self._engine.schedule_transient_after(
+            0, lambda: self._advance(None), label=f"start:{self.label}"
+        )
         return self
 
     def completion(self) -> Waitable:
@@ -146,18 +160,18 @@ class Process:
         if isinstance(command, Sleep):
             if command.delay < 0:
                 raise ProcessError(f"{self.label}: negative sleep {command.delay}")
-            self._engine.schedule_after(
-                command.delay, lambda: self._advance(None), label=f"sleep:{self.label}"
+            self._engine.schedule_transient_after(
+                command.delay, lambda: self._advance(None), label=self._sleep_label
             )
         elif isinstance(command, Wait):
             command.waitable.add_waiter(self._advance)
         elif isinstance(command, Spawn):
             child = Process(self._engine, command.generator, label=command.label)
             child.start()
-            self._engine.schedule_after(0, lambda: self._advance(child))
+            self._engine.schedule_transient_after(0, lambda: self._advance(child))
         elif isinstance(command, Join):
             if command.process.done:
-                self._engine.schedule_after(
+                self._engine.schedule_transient_after(
                     0, lambda: self._advance(command.process.result)
                 )
             else:

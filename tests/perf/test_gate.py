@@ -1,0 +1,162 @@
+"""Perf gate: row schema, baseline check logic, CLI plumbing.
+
+The actual throughput numbers are machine-dependent, so the tests here
+never assert on speed — they pin the BENCH_sim_kernel.json row schema,
+the calibration-normalized regression verdicts, the calendar/heap
+speedup gate, and the argument plumbing shared by ``repro bench`` and
+``benchmarks/perf_gate.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.gate import (
+    BENCH_BASELINE,
+    BENCHES,
+    build_parser,
+    check_against_baseline,
+    main,
+    run_benches,
+)
+
+
+def _row(bench, events_per_sec, seed=7):
+    return {
+        "bench": bench,
+        "events_per_sec": float(events_per_sec),
+        "wall_s": 0.1,
+        "seed": seed,
+        "py": "3.11",
+    }
+
+
+class TestRunBenches:
+    def test_rows_match_baseline_schema(self):
+        rows = run_benches(quick=True, only=["calibration"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert set(row) == {"bench", "events_per_sec", "wall_s", "seed", "py"}
+        assert row["bench"] == "calibration"
+        assert row["events_per_sec"] > 0
+        assert row["wall_s"] > 0
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench"):
+            run_benches(only=["warp_drive"])
+
+    def test_expected_suite_members(self):
+        assert set(BENCHES) == {
+            "calibration",
+            "engine_heap_chaos",
+            "engine_calendar_chaos",
+            "p2sm_merge",
+            "coalesced_load",
+            "chaos_e2e",
+            "cluster_study_e2e",
+        }
+
+
+class TestCheckAgainstBaseline:
+    def test_within_tolerance_passes(self):
+        rows = [_row("calibration", 100.0), _row("p2sm_merge", 90.0)]
+        baseline = [_row("calibration", 100.0), _row("p2sm_merge", 100.0)]
+        assert check_against_baseline(rows, baseline, tolerance=0.15, log=lambda _: None)
+
+    def test_regression_beyond_tolerance_fails(self):
+        rows = [_row("calibration", 100.0), _row("p2sm_merge", 80.0)]
+        baseline = [_row("calibration", 100.0), _row("p2sm_merge", 100.0)]
+        assert not check_against_baseline(
+            rows, baseline, tolerance=0.15, log=lambda _: None
+        )
+
+    def test_calibration_normalizes_slower_machine(self):
+        # Half-speed machine, half-speed scores: no regression.
+        rows = [_row("calibration", 50.0), _row("p2sm_merge", 50.0)]
+        baseline = [_row("calibration", 100.0), _row("p2sm_merge", 100.0)]
+        assert check_against_baseline(rows, baseline, tolerance=0.15, log=lambda _: None)
+
+    def test_speedup_gate_passes_and_fails_on_ratio(self):
+        baseline = []
+        fast = [
+            _row("engine_heap_chaos", 100.0),
+            _row("engine_calendar_chaos", 210.0),
+        ]
+        slow = [
+            _row("engine_heap_chaos", 100.0),
+            _row("engine_calendar_chaos", 140.0),
+        ]
+        assert check_against_baseline(
+            fast, baseline, require_speedup=2.0, log=lambda _: None
+        )
+        assert not check_against_baseline(
+            slow, baseline, require_speedup=2.0, log=lambda _: None
+        )
+
+    def test_unknown_current_bench_is_ignored(self):
+        rows = [_row("brand_new_bench", 1.0)]
+        assert check_against_baseline(rows, [], log=lambda _: None)
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_has_schema_and_speedup(self):
+        with open(BENCH_BASELINE) as handle:
+            rows = json.load(handle)
+        by_name = {row["bench"]: row for row in rows}
+        for row in rows:
+            assert set(row) == {"bench", "events_per_sec", "wall_s", "seed", "py"}
+        ratio = (
+            by_name["engine_calendar_chaos"]["events_per_sec"]
+            / by_name["engine_heap_chaos"]["events_per_sec"]
+        )
+        assert ratio >= 2.0
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.quick is False
+        assert args.seed == 7
+        assert args.baseline == BENCH_BASELINE
+        assert args.tolerance == 0.15
+        assert args.require_speedup is None
+
+    def test_main_runs_subset_and_writes(self, tmp_path, capsys):
+        out = tmp_path / "rows.json"
+        code = main(["--quick", "--benches", "calibration", "--write", str(out)])
+        assert code == 0
+        rows = json.loads(out.read_text())
+        assert [row["bench"] for row in rows] == ["calibration"]
+        assert "calibration" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_bench(self, capsys):
+        assert main(["--benches", "warp_drive"]) == 2
+
+    def test_main_check_against_written_baseline(self, tmp_path, capsys):
+        out = tmp_path / "baseline.json"
+        assert main(["--quick", "--benches", "calibration", "--write", str(out)]) == 0
+        code = main(
+            [
+                "--quick",
+                "--benches",
+                "calibration",
+                "--check",
+                "--baseline",
+                str(out),
+                "--tolerance",
+                "0.5",
+            ]
+        )
+        assert code == 0
+
+    def test_main_check_missing_baseline_errors(self, tmp_path, capsys):
+        code = main(["--quick", "--benches", "calibration", "--check",
+                     "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+
+    def test_repro_bench_subcommand_forwards(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["bench", "--quick", "--benches", "calibration"])
+        assert code == 0
+        assert "calibration" in capsys.readouterr().out

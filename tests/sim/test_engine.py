@@ -167,6 +167,23 @@ class TestRunSemantics:
         event.cancel()
         assert len(list(engine.pending_events())) == 1
 
+    def test_pending_events_sorted_in_firing_order(self):
+        # Contract: the snapshot is ordered by (time, priority, sequence)
+        # — the exact drain order — on every scheduler backend, and
+        # mutating it does not disturb the engine.
+        for kind in ("heap", "calendar"):
+            engine = Engine(scheduler=kind)
+            for when in (30, 10, 20, 10, 30):
+                engine.schedule_at(when, lambda: None)
+            engine.schedule_at(10, lambda: None, EventPriority.INTERRUPT)
+            snapshot = engine.pending_events()
+            keys = [(e.time, e.priority, e.sequence) for e in snapshot]
+            assert keys == sorted(keys)
+            assert [e.time for e in snapshot] == [10, 10, 10, 20, 30, 30]
+            assert snapshot[0].priority == EventPriority.INTERRUPT
+            snapshot.clear()  # caller-owned copy
+            assert len(engine.pending_events()) == 6
+
 
 class TestDeterminism:
     def test_identical_schedules_produce_identical_traces(self):

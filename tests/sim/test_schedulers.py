@@ -1,0 +1,206 @@
+"""Scheduler backends: heap/calendar differential identity + pooling.
+
+The determinism contract says the scheduler backend is invisible: the
+same schedule pops in the same (time, priority, sequence) order from
+either backend, bit for bit.  These tests drive both backends with
+identical random workloads — including ones sized to force calendar
+grows, shrinks, and sparse-jump repositioning — and require identical
+execution traces.  A second group pins the transient-event pool: a
+cancelled transient's callback must never fire after recycling.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine, default_scheduler, set_default_scheduler
+from repro.sim.event import EventPriority
+from repro.sim.schedulers import make_scheduler, scheduler_kinds
+
+
+def _run_random_schedule(kind, seed, initial=200, churn=400, spread=50_000):
+    """Execute a randomized self-rescheduling workload; return the trace.
+
+    Each callback appends (now, tag) and with some probability schedules
+    more work, so the backend is exercised both from outside run() and
+    from inside the hot drain loop.
+    """
+    rng = random.Random(seed)
+    engine = Engine(scheduler=kind)
+    trace = []
+    budget = [churn]
+
+    def fire(tag):
+        trace.append((engine.now, tag))
+        if budget[0] > 0 and rng.random() < 0.6:
+            budget[0] -= 1
+            delay = rng.choice((0, rng.randrange(1, 100), rng.randrange(1, spread)))
+            priority = rng.choice(
+                (EventPriority.INTERRUPT, EventPriority.SCHEDULER, EventPriority.NORMAL)
+            )
+            engine.schedule_after(delay, lambda t=f"{tag}.{budget[0]}": fire(t), priority)
+
+    for index in range(initial):
+        when = rng.randrange(spread)
+        priority = rng.choice(tuple(EventPriority))
+        engine.schedule_at(when, lambda t=str(index): fire(t), priority)
+    engine.run()
+    return trace
+
+
+class TestDifferentialPopOrder:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_heap_and_calendar_traces_identical(self, seed):
+        heap_trace = _run_random_schedule("heap", seed)
+        calendar_trace = _run_random_schedule("calendar", seed)
+        assert heap_trace == calendar_trace
+
+    def test_identical_across_resize_pressure(self):
+        # Enough events to push the calendar through grow rebuilds, then
+        # a drain to trigger shrink checks — the trace must not notice.
+        traces = {}
+        for kind in scheduler_kinds():
+            rng = random.Random(99)
+            engine = Engine(scheduler=kind)
+            trace = []
+            for index in range(5000):
+                when = rng.randrange(1_000_000)
+                engine.schedule_at(when, lambda t=index: trace.append((engine.now, t)))
+            engine.run()
+            traces[kind] = trace
+        assert traces["heap"] == traces["calendar"]
+
+    def test_identical_with_clustered_then_sparse_times(self):
+        # A dense cluster followed by far-future stragglers exercises the
+        # sparse-calendar direct jump (the cursor must land on the
+        # *earliest* pending window, not the latest).
+        traces = {}
+        for kind in scheduler_kinds():
+            engine = Engine(scheduler=kind)
+            trace = []
+            for index in range(64):
+                engine.schedule_at(index, lambda t=index: trace.append((engine.now, t)))
+            for index, when in enumerate((10**9, 5 * 10**9, 2 * 10**9)):
+                engine.schedule_at(
+                    when, lambda t=f"far{index}": trace.append((engine.now, t))
+                )
+            engine.run()
+            traces[kind] = trace
+        assert traces["heap"] == traces["calendar"]
+
+    @pytest.mark.parametrize("kind", ["heap", "calendar"])
+    def test_raw_scheduler_pops_sorted(self, kind):
+        from repro.sim.event import Event
+
+        rng = random.Random(3)
+        sched = make_scheduler(kind)
+        events = [
+            Event(
+                time=rng.randrange(100_000),
+                priority=rng.choice((0, 10, 20)),
+                sequence=sequence,
+                callback=lambda: None,
+            )
+            for sequence in range(1000)
+        ]
+        for event in events:
+            sched.push(event)
+        popped = []
+        while True:
+            event = sched.pop_due(None)
+            if event is None:
+                break
+            popped.append(event)
+        assert popped == sorted(events)
+
+
+class TestChaosByteIdentity:
+    def test_chaos_output_identical_under_both_schedulers(self):
+        from repro.experiments.chaos import ChaosConfig, render_chaos, run_chaos
+
+        outputs = {}
+        for kind in scheduler_kinds():
+            set_default_scheduler(kind)
+            try:
+                result = run_chaos(ChaosConfig(hosts=2, requests=120, seed=5))
+                outputs[kind] = render_chaos(result)
+            finally:
+                set_default_scheduler("heap")
+        assert outputs["heap"] == outputs["calendar"]
+
+
+class TestTransientPool:
+    @pytest.mark.parametrize("kind", ["heap", "calendar"])
+    def test_cancelled_transient_callback_never_resurrects(self, kind):
+        """Recycling must not let a stale handle re-arm its old callback.
+
+        Cancel transient events mid-run, then schedule enough new
+        transients to cycle the pool; the cancelled callbacks must stay
+        dead and every pooled reuse must bump the generation counter.
+        """
+        engine = Engine(scheduler=kind)
+        fired = []
+        poisoned = []
+
+        def seed_events():
+            stale = []
+            for index in range(50):
+                engine.schedule_transient_after(
+                    10 + index, lambda t=index: poisoned.append(t)
+                )
+            # Grab the pending transients and cancel every one of them.
+            for event in engine.pending_events():
+                if event.transient:
+                    stale.append((event, event.generation))
+                    event.cancel()
+            # Recycle pressure: reuse pooled events for live callbacks.
+            for index in range(200):
+                engine.schedule_transient_after(
+                    20 + index, lambda t=index: fired.append(t)
+                )
+            for event, generation in stale:
+                if not event.cancelled:  # reused for a live callback
+                    assert event.generation > generation
+
+        engine.schedule_at(0, seed_events)
+        engine.run()
+        assert poisoned == []
+        assert sorted(fired) == list(range(200))
+
+    def test_pool_reuse_bumps_generation(self):
+        engine = Engine()
+        holder = []
+        engine.schedule_transient_after(1, lambda: None)
+        engine.run()
+        assert len(engine._pool) == 1
+        recycled = engine._pool[-1]
+        generation = recycled.generation
+        engine.schedule_transient_after(1, lambda: holder.append(True))
+        assert recycled.generation == generation + 1
+        engine.run()
+        assert holder == [True]
+
+    def test_pool_capacity_is_bounded(self):
+        engine = Engine()
+        for index in range(6000):
+            engine.schedule_transient_after(index, lambda: None)
+        engine.run()
+        assert len(engine._pool) <= 4096
+
+
+class TestDefaultSchedulerSelection:
+    def test_set_default_scheduler_round_trip(self):
+        assert default_scheduler() == "heap"
+        try:
+            previous = set_default_scheduler("calendar")
+            assert previous == "heap"
+            assert Engine().scheduler == "calendar"
+        finally:
+            set_default_scheduler("heap")
+        assert Engine().scheduler == "heap"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(scheduler="fibonacci")
+        with pytest.raises(ValueError):
+            set_default_scheduler("fibonacci")
