@@ -4,8 +4,9 @@ The instrumentation's contract is that an untraced run (the default
 ``NULL_OBS`` bundle) pays exactly one ``obs.enabled`` attribute check
 per instrumented operation.  This benchmark verifies the guard budget
 on a Figure-1-style run: the measured per-check cost, multiplied by the
-number of guard evaluations the run performs, must stay under 2 % of
-the run's untraced wall time.
+number of guard evaluations the run performs, must stay under 0.5 % of
+the run's untraced wall time (the CI ``overhead`` job's NULL-path
+budget; measured share is ~0.02 %).
 
 The number of guard evaluations is counted by running the same
 workload once with an *enabled* bundle and summing every recorded
@@ -56,7 +57,7 @@ def _count_obs_events() -> int:
 
 
 @pytest.mark.benchmark(group="obs-overhead")
-def test_null_obs_guard_overhead_under_2pct(once):
+def test_null_obs_guard_overhead_under_half_pct(once):
     once(run_table1, repetitions=3, seed=0)
     # pytest-benchmark keeps its own stats; re-time directly so the
     # budget math below uses a plain float.
@@ -76,9 +77,9 @@ def test_null_obs_guard_overhead_under_2pct(once):
         f"guard budget      {guard_total_s * 1e3:8.3f} ms "
         f"({share * 100:.3f} % of run)",
     )
-    assert share < 0.02, (
-        f"NULL-tracer guard budget is {share * 100:.2f} % of the untraced "
-        f"run (limit 2 %)"
+    assert share < 0.005, (
+        f"NULL-tracer guard budget is {share * 100:.3f} % of the untraced "
+        f"run (limit 0.5 %)"
     )
 
 

@@ -78,6 +78,11 @@ class InvariantRegistry:
     def __init__(self, obs: Optional[Observability] = None) -> None:
         self.obs = obs if obs is not None else current_obs()
         self._entries: List[_Entry] = []
+        #: Entries with a per-event trigger, cached so the engine
+        #: watcher does not re-filter (and re-test the trigger kind of)
+        #: every entry on every simulation event.  Invalidated by
+        #: :meth:`register`.
+        self._per_event: Optional[List[_Entry]] = None
         self._event_count = 0
         self.violations: List[Violation] = []
 
@@ -95,6 +100,7 @@ class InvariantRegistry:
         if every_n < 1:
             raise ValueError(f"every_n must be >= 1, got {every_n}")
         self._entries.append(_Entry(name, checker, trigger, every_n))
+        self._per_event = None
 
     @property
     def checker_names(self) -> List[str]:
@@ -114,15 +120,28 @@ class InvariantRegistry:
             found.extend(self._run_entry(entry, now_ns, context))
         return found
 
+    def _per_event_entries(self) -> List[_Entry]:
+        entries = self._per_event
+        if entries is None:
+            entries = self._per_event = [
+                entry
+                for entry in self._entries
+                if entry.trigger is not Trigger.BOUNDARY
+            ]
+        return entries
+
     def attach(self, engine: Engine, context: str = "") -> None:
         """Install an engine watcher honoring the per-event triggers."""
 
         def watch(_event) -> None:
             self._event_count += 1
-            for entry in self._entries:
-                if entry.trigger is Trigger.EVERY_EVENT or (
-                    entry.trigger is Trigger.EVERY_N_EVENTS
-                    and self._event_count % entry.every_n == 0
+            entries = self._per_event
+            if entries is None:
+                entries = self._per_event_entries()
+            for entry in entries:
+                if (
+                    entry.trigger is Trigger.EVERY_EVENT
+                    or self._event_count % entry.every_n == 0
                 ):
                     self._run_entry(entry, engine.now, context)
 

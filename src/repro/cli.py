@@ -12,6 +12,9 @@ Commands:
 * ``chaos``        — run the cluster chaos study under seeded
   infrastructure failures (crashes, resume faults) and compare
   resilience modes;
+* ``profile``      — run one experiment under the deterministic
+  subsystem profiler; write flamegraph-ready folded stacks plus a
+  machine-readable hotspot table;
 * ``bench``        — run the sim-kernel performance gate;
 * ``demo``         — the quickstart comparison of the four start paths.
 
@@ -225,6 +228,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one experiment with the deterministic subsystem profiler.
+
+    ``repro profile chaos`` runs the full chaos study (one attribution
+    phase per resilience mode); any registry experiment id profiles as a
+    single phase.  Engines built while the profiler is active route
+    dispatch through the profiled drain, so the drivers are untouched.
+
+    Writes ``<name>.collapsed`` (flamegraph.pl / speedscope folded
+    stacks) and ``<name>.hotspots.json`` to ``--out-dir``.  Both
+    artifacts and stdout are deterministic — same seed, byte-identical;
+    the machine-dependent wall-time attribution goes to stderr only.
+    """
+    import os
+
+    from repro.obs.profile import SubsystemProfiler, profiling
+
+    _apply_scheduler(args)
+    profiler = SubsystemProfiler(args.name)
+    if args.name == "chaos":
+        from repro.experiments.chaos import (
+            CHAOS_MODES,
+            ChaosConfig,
+            run_chaos_mode,
+        )
+
+        try:
+            config = ChaosConfig(
+                hosts=args.hosts,
+                failure_rate=args.failure_rate,
+                requests=args.requests,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        with profiling(profiler):
+            for mode in CHAOS_MODES:
+                profiler.phase(mode)
+                run_chaos_mode(mode, config)
+    elif args.name in EXPERIMENTS:
+        with profiling(profiler):
+            profiler.phase(args.name)
+            _run_experiment(
+                args.name, fast=args.fast, seed=args.seed, platform=args.platform
+            )
+    else:
+        print(
+            f"unknown profile target {args.name!r}; choose 'chaos' or one of "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    profiler.finish()
+    os.makedirs(args.out_dir, exist_ok=True)
+    collapsed_path = os.path.join(args.out_dir, f"{args.name}.collapsed")
+    hotspots_path = os.path.join(args.out_dir, f"{args.name}.hotspots.json")
+    with open(collapsed_path, "w") as handle:
+        handle.write(profiler.collapsed_stacks())
+    with open(hotspots_path, "w") as handle:
+        handle.write(profiler.hotspot_json())
+    print(profiler.hotspot_text(limit=args.top))
+    print()
+    print(f"wrote {collapsed_path} (flamegraph.pl / speedscope)")
+    print(f"wrote {hotspots_path}")
+    print(profiler.wall_report(), file=sys.stderr)
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     width = max(len(spec.id) for spec in all_specs())
     for spec in all_specs():
@@ -249,6 +321,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded.extend(["--baseline", args.baseline])
     if args.require_speedup is not None:
         forwarded.extend(["--require-speedup", str(args.require_speedup)])
+    if args.max_obs_overhead is not None:
+        forwarded.extend(["--max-obs-overhead", str(args.max_obs_overhead)])
     forwarded.extend(["--tolerance", str(args.tolerance)])
     forwarded.extend(["--seed", str(args.seed)])
     return perf_gate_main(forwarded)
@@ -363,6 +437,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduler_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="run one experiment under the deterministic subsystem "
+        "profiler; write folded stacks + hotspot table",
+    )
+    profile.add_argument(
+        "name", help="'chaos' or one of " + ", ".join(sorted(EXPERIMENTS))
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--fast", action="store_true")
+    profile.add_argument(
+        "--platform", choices=("firecracker", "xen"), default="firecracker",
+        help="hypervisor model (registry experiments only)",
+    )
+    profile.add_argument(
+        "--failure-rate", type=float, default=0.1, metavar="R",
+        help="chaos failure intensity (chaos target only)",
+    )
+    profile.add_argument("--hosts", type=int, default=4)
+    profile.add_argument("--requests", type=int, default=1200)
+    profile.add_argument(
+        "--out-dir", type=str, default="profiles",
+        help="directory for <name>.collapsed / <name>.hotspots.json",
+    )
+    profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="only print the N hottest rows (artifacts are always full)",
+    )
+    _add_scheduler_flag(profile)
+    profile.set_defaults(func=_cmd_profile)
+
     bench = subparsers.add_parser(
         "bench",
         help="run the sim-kernel performance gate (see benchmarks/perf_gate.py)",
@@ -375,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--baseline", type=str, default=None, metavar="PATH")
     bench.add_argument("--tolerance", type=float, default=0.15)
     bench.add_argument("--require-speedup", type=float, default=None, metavar="X")
+    bench.add_argument(
+        "--max-obs-overhead", type=float, default=None, metavar="F",
+        help="fail if obs-enabled chaos is more than F slower than obs-off",
+    )
     _add_scheduler_flag(bench)
     bench.set_defaults(func=_cmd_bench)
 

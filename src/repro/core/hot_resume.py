@@ -130,6 +130,9 @@ class HorsePauseResume:
         #: domains) — the fast path fails under the same injector as the
         #: vanilla path.
         self.fault_hook: Optional[ResumeFaultHook] = None
+        #: (registry, pause ctr, precompute ctr, precompute histo) —
+        #: bound once per attached registry in _emit_pause_obs.
+        self._pause_instruments = None
 
     # ------------------------------------------------------------------
     # Pause: dequeue + precompute
@@ -222,42 +225,56 @@ class HorsePauseResume:
     ) -> None:
         """Span tree for a HORSE pause: dequeue, then the precompute
         work (vCPU sort, P2SM refresh, coalesced-update build) that
-        buys the O(1) resume."""
+        buys the O(1) resume.
+
+        Span building and metric updates gate independently on the
+        tracer's and registry's own ``enabled`` flags: a metrics-only
+        bundle skips all span/kwarg construction, a tracer-only bundle
+        skips the instrument updates.
+        """
         tracer = self.obs.tracer
-        tracer.name_process(core_id, f"cpu{core_id}")
-        tid = tracer.tid_for(sandbox.sandbox_id, pid=core_id)
-        root = tracer.open_span(
-            "pause", now_ns, category="pause", pid=core_id, tid=tid,
-            sandbox=sandbox.sandbox_id, path="horse",
-        )
-        cursor = now_ns
-        tracer.record_span(
-            "dequeue", cursor, round(dequeue_ns), pid=core_id, tid=tid,
-            category="pause",
-        )
-        cursor += round(dequeue_ns)
-        precompute = tracer.open_span(
-            "precompute", cursor, category="pause", pid=core_id, tid=tid,
-            entries=precompute_entries,
-        )
-        for name, phase_ns in (
-            ("sort_vcpus", sort_ns),
-            ("p2sm_refresh", p2sm_ns),
-            ("coalesce", coalesce_ns),
-        ):
+        if tracer.enabled:
+            tracer.name_process(core_id, f"cpu{core_id}")
+            tid = tracer.tid_for(sandbox.sandbox_id, pid=core_id)
+            root = tracer.open_span(
+                "pause", now_ns, category="pause", pid=core_id, tid=tid,
+                sandbox=sandbox.sandbox_id, path="horse",
+            )
+            cursor = now_ns
             tracer.record_span(
-                name, cursor, round(phase_ns), pid=core_id, tid=tid,
+                "dequeue", cursor, round(dequeue_ns), pid=core_id, tid=tid,
                 category="pause",
             )
-            cursor += round(phase_ns)
-        precompute.close(cursor)
-        root.close(cursor)
+            cursor += round(dequeue_ns)
+            precompute = tracer.open_span(
+                "precompute", cursor, category="pause", pid=core_id, tid=tid,
+                entries=precompute_entries,
+            )
+            for name, phase_ns in (
+                ("sort_vcpus", sort_ns),
+                ("p2sm_refresh", p2sm_ns),
+                ("coalesce", coalesce_ns),
+            ):
+                tracer.record_span(
+                    name, cursor, round(phase_ns), pid=core_id, tid=tid,
+                    category="pause",
+                )
+                cursor += round(phase_ns)
+            precompute.close(cursor)
+            root.close(cursor)
         metrics = self.obs.metrics
-        metrics.counter("pause.count").inc()
-        metrics.counter("p2sm.precompute_entries").inc(precompute_entries)
-        metrics.histogram("pause.precompute_ns").observe(
-            round(sort_ns + p2sm_ns + coalesce_ns)
-        )
+        if metrics.enabled:
+            handles = self._pause_instruments
+            if handles is None or handles[0] is not metrics:
+                handles = self._pause_instruments = (
+                    metrics,
+                    metrics.counter("pause.count"),
+                    metrics.counter("p2sm.precompute_entries"),
+                    metrics.histogram("pause.precompute_ns"),
+                )
+            handles[1].inc()
+            handles[2].inc(precompute_entries)
+            handles[3].observe(round(sort_ns + p2sm_ns + coalesce_ns))
 
     # ------------------------------------------------------------------
     # Resume: the fast path
@@ -379,30 +396,37 @@ class HorsePauseResume:
         pointer_writes: int,
     ) -> None:
         """Nested spans for the fast resume, one child per step, tiling
-        the root exactly; also feeds the per-phase ns histograms."""
+        the root exactly; also feeds the per-phase ns histograms.
+
+        Tracer and metrics gate independently (see _emit_pause_obs).
+        """
         tracer = self.obs.tracer
-        tracer.name_process(core_id, f"cpu{core_id}")
-        tid = tracer.tid_for(sandbox.sandbox_id, pid=core_id)
-        timeline = tracer.timeline(
-            "resume", now_ns, category="resume", pid=core_id, tid=tid,
-            sandbox=sandbox.sandbox_id, path="horse",
-            vcpus=sandbox.vcpu_count, fast_path=self.config.fast_command_path,
-        )
-        phases = breakdown.phases
-        if phases.get(STEP_STALL):
-            timeline.phase("stall", phases[STEP_STALL], injected=True)
-        timeline.phase("parse", phases.get(STEP_PARSE, 0))
-        timeline.phase("lock", phases.get(STEP_LOCK, 0))
-        timeline.phase("sanity", phases.get(STEP_SANITY, 0))
-        timeline.phase(
-            "merge", phases.get(STEP_MERGE, 0),
-            p2sm=self.config.enable_p2sm, threads=merge_threads,
-            pointer_writes=pointer_writes,
-        )
-        timeline.phase(
-            "load_update", phases.get(STEP_LOAD, 0),
-            coalesced=self.config.enable_coalescing,
-        )
-        timeline.phase("dispatch", phases.get(STEP_FINALIZE, 0))
-        timeline.finish(total_ns=breakdown.total_ns)
-        observe_resume(self.obs.metrics, breakdown)
+        if tracer.enabled:
+            tracer.name_process(core_id, f"cpu{core_id}")
+            tid = tracer.tid_for(sandbox.sandbox_id, pid=core_id)
+            timeline = tracer.timeline(
+                "resume", now_ns, category="resume", pid=core_id, tid=tid,
+                sandbox=sandbox.sandbox_id, path="horse",
+                vcpus=sandbox.vcpu_count,
+                fast_path=self.config.fast_command_path,
+            )
+            phases = breakdown.phases
+            if phases.get(STEP_STALL):
+                timeline.phase("stall", phases[STEP_STALL], injected=True)
+            timeline.phase("parse", phases.get(STEP_PARSE, 0))
+            timeline.phase("lock", phases.get(STEP_LOCK, 0))
+            timeline.phase("sanity", phases.get(STEP_SANITY, 0))
+            timeline.phase(
+                "merge", phases.get(STEP_MERGE, 0),
+                p2sm=self.config.enable_p2sm, threads=merge_threads,
+                pointer_writes=pointer_writes,
+            )
+            timeline.phase(
+                "load_update", phases.get(STEP_LOAD, 0),
+                coalesced=self.config.enable_coalescing,
+            )
+            timeline.phase("dispatch", phases.get(STEP_FINALIZE, 0))
+            timeline.finish(total_ns=breakdown.total_ns)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            observe_resume(metrics, breakdown)

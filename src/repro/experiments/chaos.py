@@ -224,6 +224,7 @@ def run_chaos_mode(mode: str, config: ChaosConfig) -> ModeOutcome:
                 name, priority=priority
             ),
             label=f"chaos-submit:{index}",
+            transient=True,
         )
     injector.schedule_crashes(until_ns=last)
     cluster.engine.run(until=last + seconds(config.drain_s))

@@ -76,13 +76,25 @@ class PlacementPolicy(abc.ABC):
 
     name: str = "abstract"
 
-    @abc.abstractmethod
     def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
         """Return the index of the host to route to.
 
-        Implementations must only return routable hosts (healthy, not
-        excluded, not vetoed by the host gate) and raise
-        :class:`NoHealthyHostError` when there are none.
+        Only routable hosts (healthy, not excluded, not vetoed by the
+        host gate) are returned; raises :class:`NoHealthyHostError`
+        when there are none.
+        """
+        return self.choose_from(
+            cluster, function_name, cluster.routable_hosts()
+        )
+
+    @abc.abstractmethod
+    def choose_from(
+        self, cluster: "FaaSCluster", function_name: str, candidates: List[int]
+    ) -> int:
+        """Pick one of *candidates* (a non-empty, ascending routable
+        list).  Callers that already computed routability — the
+        resilient gateway checks it on every launch attempt — use this
+        directly to avoid recomputing it inside the policy.
         """
 
 
@@ -92,38 +104,52 @@ class RoundRobinPlacement(PlacementPolicy):
     def __init__(self) -> None:
         self._next = 0
 
-    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
-        candidates = cluster.routable_hosts()
+    def choose_from(
+        self, cluster: "FaaSCluster", function_name: str, candidates: List[int]
+    ) -> int:
         index = candidates[self._next % len(candidates)]
         self._next += 1
         return index
 
 
+def _least_loaded_of(cluster: "FaaSCluster", candidates: List[int]) -> int:
+    """Lowest in-flight count among *candidates*, lowest index on ties.
+
+    Candidates arrive in ascending index order, so a strict ``<`` on the
+    in-flight count preserves the ``min`` over ``(in_flight, i)`` tuple
+    semantics without allocating a key tuple per host.  Placement runs
+    once per launch attempt — including every retry of the chaos study's
+    no-host rewait loop — so this is a hot path.
+    """
+    in_flight = cluster.in_flight
+    best = candidates[0]
+    best_load = in_flight[best]
+    for i in candidates:
+        load = in_flight[i]
+        if load < best_load:
+            best = i
+            best_load = load
+    return best
+
+
 class LeastLoadedPlacement(PlacementPolicy):
     name = "least-loaded"
 
-    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
-        return min(
-            cluster.routable_hosts(),
-            key=lambda i: (cluster.in_flight[i], i),
-        )
+    def choose_from(
+        self, cluster: "FaaSCluster", function_name: str, candidates: List[int]
+    ) -> int:
+        return _least_loaded_of(cluster, candidates)
 
 
 class WarmAffinityPlacement(PlacementPolicy):
     name = "warm-affinity"
 
-    def __init__(self) -> None:
-        self._fallback = LeastLoadedPlacement()
-
-    def choose(self, cluster: "FaaSCluster", function_name: str) -> int:
-        warm = [
-            i
-            for i in cluster.routable_hosts()
-            if cluster.hosts[i].pool.size(function_name) > 0
-        ]
-        if warm:
-            return min(warm, key=lambda i: (cluster.in_flight[i], i))
-        return self._fallback.choose(cluster, function_name)
+    def choose_from(
+        self, cluster: "FaaSCluster", function_name: str, candidates: List[int]
+    ) -> int:
+        hosts = cluster.hosts
+        warm = [i for i in candidates if hosts[i].pool.size(function_name) > 0]
+        return _least_loaded_of(cluster, warm if warm else candidates)
 
 
 @dataclass
@@ -174,23 +200,33 @@ class FaaSCluster:
     # ------------------------------------------------------------------
     # Health & routability
     # ------------------------------------------------------------------
+    def routable_or_empty(self) -> List[int]:
+        """Hosts a trigger may be routed to right now — empty when none.
+
+        The resilient gateway checks routability on every attempt and
+        capacity wake; returning an empty list lets it branch instead
+        of paying exception machinery when nothing is routable.
+        """
+        gate = self.host_gate
+        excluded = self._excluded
+        return [
+            i
+            for i, health in enumerate(self.health)
+            if health.up
+            and i not in excluded
+            and (gate is None or gate(i))
+        ]
+
     def routable_hosts(self) -> List[int]:
         """Hosts a trigger may be routed to right now.
 
         Raises :class:`NoHealthyHostError` when empty so no caller can
         accidentally treat "nowhere to go" as index 0.
         """
-        candidates = [
-            i
-            for i in range(len(self.hosts))
-            if self.health[i].up
-            and i not in self._excluded
-            and (self.host_gate is None or self.host_gate(i))
-        ]
+        candidates = self.routable_or_empty()
         if not candidates:
             raise NoHealthyHostError(
-                f"no routable host ({len(self.hosts)} total, "
-                f"{sum(h.up for h in self.health)} up)"
+                f"no routable host ({len(self.hosts)} total)"
             )
         return candidates
 
@@ -303,6 +339,7 @@ class FaaSCluster:
             invocation.exec_end_ns,
             lambda: self._finish(index),
             label=f"cluster-finish:{invocation.invocation_id}",
+            transient=True,
         )
         return invocation
 

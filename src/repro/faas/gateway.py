@@ -62,6 +62,36 @@ class FaaSGateway:
         self.invocations: List[Invocation] = []
         #: hooks fired when an invocation completes (experiments attach)
         self.completion_hooks: List[Callable[[Invocation], None]] = []
+        # Instrument handles are bound once (and rebound if the bundle's
+        # tracer/registry is swapped) instead of looked up per trigger.
+        self._ctr_start: Dict[str, object] = {}
+        self._bind_instruments(obs)
+        if obs is not NULL_OBS:
+            obs.on_rebind(self._bind_instruments)
+
+    def _bind_instruments(self, obs: Observability) -> None:
+        metrics = obs.metrics
+        self._ctr_trigger = metrics.counter(
+            "gateway.trigger", "invocations triggered"
+        )
+        self._ctr_complete = metrics.counter(
+            "gateway.complete", "invocations completed"
+        )
+        self._hist_init = metrics.histogram(
+            "invocation.init_ns", help="trigger -> sandbox-ready latency"
+        )
+        self._hist_total = metrics.histogram(
+            "invocation.total_ns", help="trigger -> function-end latency"
+        )
+        self._ctr_start.clear()
+
+    def _start_counter(self, start: str):
+        counter = self._ctr_start.get(start)
+        if counter is None:
+            counter = self._ctr_start[start] = self.obs.metrics.counter(
+                f"gateway.start.{start}", f"invocations started via {start}"
+            )
+        return counter
 
     # ------------------------------------------------------------------
     def trigger(
@@ -90,10 +120,12 @@ class FaaSGateway:
             )
         # The invocation root span is opened *before* the start strategy
         # runs, so any pause/resume timelines recorded while obtaining
-        # the sandbox nest underneath it.
+        # the sandbox nest underneath it.  Span work gates on the
+        # tracer's own flag: a metrics-only bundle skips every span and
+        # kwarg construction here and still feeds the instruments below.
         root: Optional[OpenSpan] = None
-        if self.obs.enabled:
-            tracer = self.obs.tracer
+        tracer = self.obs.tracer
+        if tracer.enabled:
             tracer.name_process(FAAS_PID, "faas")
             root = tracer.open_span(
                 "invocation",
@@ -132,6 +164,8 @@ class FaaSGateway:
 
         if root is not None:
             self._finish_invocation_obs(root, invocation, outcome)
+        elif self.obs.enabled:
+            self._finish_invocation_metrics(invocation, outcome)
         self.trace.record(
             now, "gateway", "trigger",
             function=function_name, start=outcome.start_type.value,
@@ -167,14 +201,15 @@ class FaaSGateway:
             self.obs.tracer, pid=root.span.pid, tid=root.span.tid
         )
         root.close(invocation.exec_end_ns)
-        metrics = self.obs.metrics
-        metrics.counter("gateway.trigger", "invocations triggered").inc()
-        metrics.counter(
-            f"gateway.start.{start}", f"invocations started via {start}"
-        ).inc()
-        metrics.histogram(
-            "invocation.init_ns", help="trigger -> sandbox-ready latency"
-        ).observe(invocation.initialization_ns)
+        self._finish_invocation_metrics(invocation, outcome)
+
+    def _finish_invocation_metrics(
+        self, invocation: Invocation, outcome: StartOutcome
+    ) -> None:
+        """Metric half of invocation finish — bound handles only."""
+        self._ctr_trigger.inc()
+        self._start_counter(outcome.start_type.value).inc()
+        self._hist_init.observe(invocation.initialization_ns)
 
     # ------------------------------------------------------------------
     def _complete(
@@ -195,12 +230,8 @@ class FaaSGateway:
                 self.virt.vanilla.pause(sandbox, now)
             self.pool.release(spec.name, sandbox)
         if self.obs.enabled:
-            self.obs.metrics.counter(
-                "gateway.complete", "invocations completed"
-            ).inc()
-            self.obs.metrics.histogram(
-                "invocation.total_ns", help="trigger -> function-end latency"
-            ).observe(invocation.total_ns)
+            self._ctr_complete.inc()
+            self._hist_total.observe(invocation.total_ns)
         self.trace.record(
             now, "gateway", "complete",
             function=spec.name, invocation=invocation.invocation_id,

@@ -29,7 +29,7 @@ class StartType(enum.Enum):
     HORSE = "horse"
 
 
-@dataclass
+@dataclass(slots=True)
 class Invocation:
     """Timeline and outcome of one trigger."""
 

@@ -23,6 +23,15 @@ from repro.sim.event import Event
 from repro.sim.tracing import NULL_TRACE, TraceLog
 
 
+def _pool_handles(metrics):
+    """Registry-cached (hit, miss, evict) counters for the hot paths."""
+    return (
+        metrics.counter("pool.hit", "warm-pool hits"),
+        metrics.counter("pool.miss", "warm-pool misses (no idle sandbox)"),
+        metrics.counter("pool.evict", "keep-alive evictions"),
+    )
+
+
 class SandboxPool:
     """Per-function store of paused warm sandboxes with keep-alive."""
 
@@ -74,9 +83,7 @@ class SandboxPool:
         if not queue:
             self.misses += 1
             if self.obs.enabled:
-                self.obs.metrics.counter(
-                    "pool.miss", "warm-pool misses (no idle sandbox)"
-                ).inc()
+                self.obs.metrics.bound("pool", _pool_handles)[1].inc()
             return None
         sandbox = queue.popleft()
         event = self._eviction_events.pop(sandbox.sandbox_id, None)
@@ -84,9 +91,7 @@ class SandboxPool:
             event.cancel()
         self.hits += 1
         if self.obs.enabled:
-            self.obs.metrics.counter(
-                "pool.hit", "warm-pool hits"
-            ).inc()
+            self.obs.metrics.bound("pool", _pool_handles)[0].inc()
         self._trace.record(
             self._engine.now, "pool", "acquire",
             function=function_name, sandbox=sandbox.sandbox_id,
@@ -147,9 +152,7 @@ class SandboxPool:
         sandbox.transition(SandboxState.STOPPED)
         self.evictions += 1
         if self.obs.enabled:
-            self.obs.metrics.counter(
-                "pool.evict", "keep-alive evictions"
-            ).inc()
+            self.obs.metrics.bound("pool", _pool_handles)[2].inc()
             self.obs.tracer.record_instant(
                 "pool.evict",
                 self._engine.now,

@@ -122,31 +122,86 @@ class Host:
                 timeslice_ns=ull_timeslice_ns if is_ull else default_timeslice_ns,
                 reserved_for_ull=is_ull,
             )
+        # Queue partitions never change after construction; both views
+        # are cached in runqueue_id order so the per-resume placement
+        # scan does not rebuild them (least_loaded_general is on the
+        # chaos hot path — see repro.obs.profile).
+        self._general_runqueues: List[RunQueue] = [
+            rq for rq in self.runqueues.values() if not rq.reserved_for_ull
+        ]
+        self._ull_runqueues: List[RunQueue] = [
+            rq for rq in self.runqueues.values() if rq.reserved_for_ull
+        ]
 
     # ------------------------------------------------------------------
     def attach_observability(self, obs: Observability) -> None:
-        """Wire one obs bundle into the governor and every run queue."""
+        """Wire one obs bundle into the governor and every run queue.
+
+        Load-fold counts are batched as plain ints on each
+        :class:`~repro.hypervisor.load_tracking.RunqueueLoad`; a
+        registry collector sums them at snapshot/render time so the
+        fold hot path never touches the registry.
+        """
         self.governor.obs = obs
         for runqueue in self.runqueues.values():
             runqueue.obs = obs
-            runqueue.load.obs = obs
+        if obs.metrics.enabled:
+            loads = [rq.load for rq in self.runqueues.values()]
+            iterated = obs.metrics.counter(
+                "load.fold.iterated", "vanilla per-entity load folds"
+            )
+            coalesced = obs.metrics.counter(
+                "load.fold.coalesced", "HORSE fused load folds"
+            )
+
+            def export_folds(
+                _exported: List[int] = [0, 0],
+                _loads: List = loads,
+            ) -> None:
+                total_iter = sum(load.folds_iterated for load in _loads)
+                total_coal = sum(load.folds_coalesced for load in _loads)
+                iterated.inc(total_iter - _exported[0])
+                coalesced.inc(total_coal - _exported[1])
+                _exported[0] = total_iter
+                _exported[1] = total_coal
+
+            obs.metrics.add_collector(export_folds)
 
     # ------------------------------------------------------------------
     # Run-queue views
     # ------------------------------------------------------------------
     def general_runqueues(self) -> List[RunQueue]:
-        return [rq for rq in self.runqueues.values() if not rq.reserved_for_ull]
+        return list(self._general_runqueues)
 
     def ull_runqueues(self) -> List[RunQueue]:
-        return [rq for rq in self.runqueues.values() if rq.reserved_for_ull]
+        return list(self._ull_runqueues)
 
     def least_loaded_general(self) -> RunQueue:
         """The general queue with the lowest tracked load (vanilla
-        placement rule for a resuming vCPU)."""
-        queues = self.general_runqueues()
+        placement rule for a resuming vCPU).
+
+        Manual scan over the cached queue list: the queues iterate in
+        runqueue_id order and only a strictly smaller (load, length)
+        displaces the incumbent, so ties break toward the lowest id —
+        exactly the old ``min`` over ``(load, len, id)`` tuples, minus
+        the per-queue tuple and lambda allocations.
+        """
+        queues = self._general_runqueues
         if not queues:
             raise RuntimeError("host has no general-purpose run queues")
-        return min(queues, key=lambda rq: (rq.load.value, len(rq), rq.runqueue_id))
+        best = queues[0]
+        best_load = best.load.value
+        best_len = best.entities._size
+        for rq in queues:
+            load = rq.load.value
+            if load > best_load:
+                continue
+            length = rq.entities._size
+            if load < best_load or length < best_len:
+                best = rq
+                best_load = load
+                best_len = length
+        return best
 
     def refresh_frequencies(self) -> None:
         """Let the governor re-pick each core's frequency from its load."""

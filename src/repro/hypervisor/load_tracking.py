@@ -20,10 +20,9 @@ The DVFS governor reads the tracked load to pick core frequencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.coalesce import AffineUpdate
-from repro.obs.context import NULL_OBS, Observability
 
 #: One PELT accounting period (ns) — Linux uses 1024 us; 1 ms here.
 PELT_PERIOD_NS = 1_000_000
@@ -35,7 +34,7 @@ DECAY_FACTOR = 0.5 ** (1.0 / 32.0)
 DEFAULT_ENTITY_WEIGHT = 1024.0
 
 
-@dataclass
+@dataclass(slots=True)
 class RunqueueLoad:
     """Tracked load of one run queue.
 
@@ -43,13 +42,19 @@ class RunqueueLoad:
     simulated instant of the last fold.  All mutation goes through
     :meth:`decay_to` / :meth:`enqueue_entity` so the affine invariants
     hold everywhere.
+
+    Fold counts are batched as plain ints instead of per-event metric
+    increments; :meth:`repro.hypervisor.cpu.Host.attach_observability`
+    registers a registry collector that exports the deltas at snapshot
+    time, so the fold hot path carries no observability cost at all.
     """
 
     value: float = 0.0
     last_update_ns: int = 0
     updates_applied: int = 0
-    #: Observability wiring (shared NULL sentinel unless attached).
-    obs: Observability = field(default=NULL_OBS, repr=False, compare=False)
+    #: Batched bookkeeping, exported via a registry collector.
+    folds_iterated: int = 0
+    folds_coalesced: int = 0
 
     def decay_to(self, now_ns: int) -> None:
         """Decay the aggregate for the periods elapsed since last update."""
@@ -71,16 +76,14 @@ class RunqueueLoad:
         self.decay_to(now_ns)
         self.value = self.enqueue_update(weight).apply(self.value)
         self.updates_applied += 1
-        if self.obs.enabled:
-            self.obs.metrics.counter("load.fold.iterated").inc()
+        self.folds_iterated += 1
 
     def apply_coalesced(self, now_ns: int, alpha_n: float, beta_sum: float) -> None:
         """Apply a precomputed n-fold fused update (HORSE path)."""
         self.decay_to(now_ns)
         self.value = alpha_n * self.value + beta_sum
         self.updates_applied += 1
-        if self.obs.enabled:
-            self.obs.metrics.counter("load.fold.coalesced").inc()
+        self.folds_coalesced += 1
 
     def dequeue_entity(self, now_ns: int, weight: float = DEFAULT_ENTITY_WEIGHT) -> None:
         """Remove one entity's contribution (used when pausing).

@@ -163,6 +163,10 @@ def apply_resume_fault(
     raise ValueError(f"unknown resume fault kind {fault.kind!r}")
 
 
+def _pause_counter(metrics):
+    return metrics.counter("pause.count")
+
+
 class VanillaPauseResume:
     """Unmodified pause/resume, as shipped by Firecracker/KVM and Xen."""
 
@@ -221,12 +225,17 @@ class VanillaPauseResume:
         sandbox.transition(SandboxState.PAUSED)
         self.pauses += 1
         if self.obs.enabled:
-            self.obs.metrics.counter("pause.count").inc()
-            self.obs.tracer.record_span(
-                "pause", now_ns, round(duration), category="pause",
-                tid=self.obs.tracer.tid_for(sandbox.sandbox_id),
-                sandbox=sandbox.sandbox_id, path="vanilla", dequeued=dequeued,
-            )
+            metrics = self.obs.metrics
+            if metrics.enabled:
+                metrics.bound("pause.count", _pause_counter).inc()
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.record_span(
+                    "pause", now_ns, round(duration), category="pause",
+                    tid=tracer.tid_for(sandbox.sandbox_id),
+                    sandbox=sandbox.sandbox_id, path="vanilla",
+                    dequeued=dequeued,
+                )
         return PauseResult(
             sandbox_id=sandbox.sandbox_id,
             duration_ns=round(duration),
@@ -293,33 +302,45 @@ class VanillaPauseResume:
     ) -> None:
         """Lay the six steps out as nested spans and feed the phase
         histograms.  The children tile the root exactly, so the span
-        total always reconciles with the breakdown."""
+        total always reconciles with the breakdown.
+
+        Span building and the histogram updates gate independently on
+        ``tracer.enabled`` / ``metrics.enabled``: a metrics-only bundle
+        never pays span kwarg construction, a tracer-only bundle never
+        touches the registry.
+        """
         tracer = self.obs.tracer
-        pid = (
-            self.host.runqueues[runqueue_ids[0]].core_id if runqueue_ids else 0
-        )
-        tracer.name_process(pid, f"cpu{pid}")
-        tid = tracer.tid_for(sandbox.sandbox_id, pid=pid)
-        timeline = tracer.timeline(
-            "resume", now_ns, category="resume", pid=pid, tid=tid,
-            sandbox=sandbox.sandbox_id, path=path, vcpus=sandbox.vcpu_count,
-        )
-        phases = breakdown.phases
-        if phases.get(STEP_STALL):
-            timeline.phase("stall", phases[STEP_STALL], injected=True)
-        timeline.phase("parse", phases.get(STEP_PARSE, 0))
-        timeline.phase("lock", phases.get(STEP_LOCK, 0))
-        timeline.phase("sanity", phases.get(STEP_SANITY, 0))
-        timeline.phase(
-            "merge", phases.get(STEP_MERGE, 0), scan_steps=scan_steps
-        )
-        timeline.phase(
-            "load_update", phases.get(STEP_LOAD, 0),
-            coalesced=False, folds=sandbox.vcpu_count,
-        )
-        timeline.phase("dispatch", phases.get(STEP_FINALIZE, 0))
-        timeline.finish(total_ns=breakdown.total_ns)
-        observe_resume(self.obs.metrics, breakdown)
+        if tracer.enabled:
+            pid = (
+                self.host.runqueues[runqueue_ids[0]].core_id
+                if runqueue_ids
+                else 0
+            )
+            tracer.name_process(pid, f"cpu{pid}")
+            tid = tracer.tid_for(sandbox.sandbox_id, pid=pid)
+            timeline = tracer.timeline(
+                "resume", now_ns, category="resume", pid=pid, tid=tid,
+                sandbox=sandbox.sandbox_id, path=path,
+                vcpus=sandbox.vcpu_count,
+            )
+            phases = breakdown.phases
+            if phases.get(STEP_STALL):
+                timeline.phase("stall", phases[STEP_STALL], injected=True)
+            timeline.phase("parse", phases.get(STEP_PARSE, 0))
+            timeline.phase("lock", phases.get(STEP_LOCK, 0))
+            timeline.phase("sanity", phases.get(STEP_SANITY, 0))
+            timeline.phase(
+                "merge", phases.get(STEP_MERGE, 0), scan_steps=scan_steps
+            )
+            timeline.phase(
+                "load_update", phases.get(STEP_LOAD, 0),
+                coalesced=False, folds=sandbox.vcpu_count,
+            )
+            timeline.phase("dispatch", phases.get(STEP_FINALIZE, 0))
+            timeline.finish(total_ns=breakdown.total_ns)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            observe_resume(metrics, breakdown)
 
     def _enqueue_all(
         self, sandbox: Sandbox, now_ns: int, breakdown: Breakdown

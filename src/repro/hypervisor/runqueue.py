@@ -22,6 +22,17 @@ from repro.hypervisor.vcpu import Vcpu
 from repro.obs.context import NULL_OBS, Observability
 
 
+def _runqueue_handles(metrics):
+    """Registry-cached instrument bundle shared by every run queue."""
+    return (
+        metrics,
+        metrics.counter("runqueue.enqueue"),
+        metrics.counter("runqueue.scan_steps"),
+        metrics.gauge("runqueue.last_len"),
+        metrics.counter("runqueue.dequeue"),
+    )
+
+
 class RunQueue:
     """A single core's sorted queue of runnable vCPUs."""
 
@@ -35,6 +46,7 @@ class RunQueue:
         "load",
         "enqueue_count",
         "dequeue_count",
+        "_instruments",
     )
 
     def __init__(
@@ -57,6 +69,9 @@ class RunQueue:
         self.load = RunqueueLoad()
         self.enqueue_count = 0
         self.dequeue_count = 0
+        #: (registry, enqueue ctr, scan ctr, len gauge, dequeue ctr) —
+        #: bound once per attached registry; see _bound_instruments.
+        self._instruments = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -94,11 +109,30 @@ class RunQueue:
             self._observe_enqueue(steps)
         return steps
 
-    def _observe_enqueue(self, scan_steps: int) -> None:
+    def _bound_instruments(self):
+        """Handles bound to the currently attached registry.
+
+        Re-binding is keyed on registry identity, so swapping the obs
+        bundle (or its metrics) invalidates the cache without any
+        notification plumbing; steady state is one attribute read.
+        The binding itself lives on the registry (``metrics.bound``):
+        run-queue metrics are global names, and studies churn through
+        hundreds of short-lived queues that would otherwise each pay
+        the four registry lookups on their first enqueue.
+        """
         metrics = self.obs.metrics
-        metrics.counter("runqueue.enqueue").inc()
-        metrics.counter("runqueue.scan_steps").inc(scan_steps)
-        metrics.gauge("runqueue.last_len").set(len(self.entities))
+        handles = self._instruments
+        if handles is None or handles[0] is not metrics:
+            handles = self._instruments = metrics.bound(
+                "runqueue", _runqueue_handles
+            )
+        return handles
+
+    def _observe_enqueue(self, scan_steps: int) -> None:
+        handles = self._bound_instruments()
+        handles[1].inc()
+        handles[2].inc(scan_steps)
+        handles[3].set(self.entities._size)
 
     def dequeue(self, vcpu: Vcpu, now_ns: int) -> bool:
         """Remove *vcpu* (pause path); folds its load contribution out."""
@@ -108,7 +142,7 @@ class RunQueue:
             self.load.dequeue_entity(now_ns, vcpu.weight)
             self.dequeue_count += 1
             if self.obs.enabled:
-                self.obs.metrics.counter("runqueue.dequeue").inc()
+                self._bound_instruments()[4].inc()
         return removed
 
     def peek_next(self) -> Optional[Vcpu]:

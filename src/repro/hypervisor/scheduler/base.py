@@ -25,10 +25,21 @@ class SchedulerPolicy(abc.ABC):
     #: Observability wiring; platforms swap in a live bundle.
     obs: Observability = NULL_OBS
 
+    #: (registry, counter) bound at first enabled enqueue; re-bound on
+    #: registry identity change so bundle swaps can't leak increments
+    #: into a detached registry.
+    _bound_enqueue = (None, None)
+
     def observe_enqueue(self, vcpu: Vcpu) -> None:
         """Metric hook concrete policies call from ``on_enqueue``."""
-        if self.obs.enabled:
-            self.obs.metrics.counter(f"scheduler.{self.name}.enqueue").inc()
+        obs = self.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            registry, counter = self._bound_enqueue
+            if registry is not metrics:
+                counter = metrics.counter(f"scheduler.{self.name}.enqueue")
+                self._bound_enqueue = (metrics, counter)
+            counter.inc()
 
     @abc.abstractmethod
     def sort_key(self, vcpu: Vcpu) -> float:

@@ -14,7 +14,10 @@ go?*  It provides
 * the :class:`Observability` bundle, ``NULL_OBS`` null object, and the
   :func:`activate` context that lets the CLI trace any experiment
   without threading parameters through every driver
-  (:mod:`repro.obs.context`).
+  (:mod:`repro.obs.context`);
+* the deterministic :class:`SubsystemProfiler` and :func:`profiling`
+  context — per-subsystem event attribution with byte-stable
+  collapsed-stack/hotspot artifacts (:mod:`repro.obs.profile`).
 
 Everything is opt-in: components default to ``NULL_OBS`` and pay one
 ``enabled`` attribute check per instrumented operation.
@@ -45,6 +48,11 @@ from repro.obs.phases import (
     dispatch_ns,
     observe_resume,
 )
+from repro.obs.profile import (
+    SubsystemProfiler,
+    current_profiler,
+    profiling,
+)
 from repro.obs.span import NULL_TRACER, OpenSpan, Span, Timeline, Tracer
 
 __all__ = [
@@ -64,13 +72,16 @@ __all__ = [
     "RESUME_PHASE_METRICS",
     "RESUME_TOTAL_NS",
     "Span",
+    "SubsystemProfiler",
     "Timeline",
     "Tracer",
     "activate",
     "current",
+    "current_profiler",
     "dispatch_ns",
     "iter_jsonl",
     "observe_resume",
+    "profiling",
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -159,7 +159,14 @@ class Histogram:
 
 
 class MetricRegistry:
-    """Named get-or-create store for counters, gauges, and histograms."""
+    """Named get-or-create store for counters, gauges, and histograms.
+
+    Components that batch their bookkeeping in plain attributes (the
+    PELT load tracker keeps fold counts as ints instead of bumping a
+    counter per event) register a *collector* — a callable invoked
+    before every snapshot/render so exported numbers are current
+    without any per-event metric traffic.
+    """
 
     enabled = True
 
@@ -167,6 +174,36 @@ class MetricRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Any] = []
+        self._bound_handles: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def bound(self, key: str, factory: Any) -> Any:
+        """Get-or-create a cached bundle of instrument handles.
+
+        Hot instrument sites (run-queue enqueue, pool acquire, the
+        vanilla pause path) resolve their handles once per registry
+        through this cache instead of re-looking names up per event;
+        because metric names are global, short-lived components — the
+        chaos study churns through hundreds of per-host run queues —
+        share one binding rather than each paying the registry lookups
+        again.  *factory* receives the registry and returns the handle
+        bundle; ``clear()`` drops the cache with the instruments.
+        """
+        handles = self._bound_handles.get(key)
+        if handles is None:
+            handles = self._bound_handles[key] = factory(self)
+        return handles
+
+    # ------------------------------------------------------------------
+    def add_collector(self, collector: Any) -> None:
+        """Register a zero-arg callable run before snapshot/render."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Flush batched component state into instruments."""
+        for collector in self._collectors:
+            collector()
 
     # ------------------------------------------------------------------
     def _check_free(self, name: str, kind: str) -> None:
@@ -225,6 +262,7 @@ class MetricRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Plain-data view of every instrument (JSON-serializable)."""
+        self.collect()
         out: Dict[str, Dict[str, Any]] = {}
         for name, counter in self._counters.items():
             out[name] = {"type": "counter", "value": counter.value}
@@ -245,6 +283,7 @@ class MetricRegistry:
 
     def render(self) -> str:
         """Human-readable summary table, sorted by metric name."""
+        self.collect()
         lines: List[str] = []
         for name in self.names():
             if name in self._counters:
@@ -264,42 +303,57 @@ class MetricRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        # Dropping the bound-handle cache keeps a cleared registry from
+        # resurrecting stale instruments through old bindings.
+        self._bound_handles.clear()
 
 
 class _NullCounter(Counter):
+    """Do-nothing counter; ``__slots__ = ()`` keeps instances dict-free
+    so the module singletons below cost one object for the process."""
+
+    __slots__ = ()
+
     def inc(self, amount: int = 1) -> None:
         return None
 
 
 class _NullGauge(Gauge):
+    __slots__ = ()
+
     def set(self, value: float) -> None:
         return None
 
 
 class _NullHistogram(Histogram):
+    __slots__ = ()
+
     def observe(self, value: float) -> None:
         return None
 
 
+#: Process-wide no-op instruments.  Instrument sites may cache these
+#: (or any real instrument) in a local/attribute and call them
+#: unconditionally — the no-op bodies compile the disabled path down to
+#: a single C-level method call with no dict lookups or allocation.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
 class NullRegistry(MetricRegistry):
-    """Registry that hands out shared no-op instruments."""
+    """Registry that hands out the shared no-op instruments."""
 
     enabled = False
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._null_counter = _NullCounter("null")
-        self._null_gauge = _NullGauge("null")
-        self._null_histogram = _NullHistogram("null")
-
     def counter(self, name: str, help: str = "") -> Counter:
-        return self._null_counter
+        return NULL_COUNTER
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._null_gauge
+        return NULL_GAUGE
 
     def histogram(self, name, bounds=None, help="") -> Histogram:
-        return self._null_histogram
+        return NULL_HISTOGRAM
 
 
 #: Shared do-nothing registry; pass a real MetricRegistry to opt in.

@@ -21,17 +21,33 @@ gates CI on regressions against a committed baseline:
 * ``chaos_e2e`` / ``cluster_study_e2e`` — end-to-end wall-clock of the
   chaos study and the cluster placement study at reduced size.  For
   these, "events" are completed client requests / function triggers.
+* ``chaos_e2e_obs_on`` — the same chaos study with a live metric
+  registry attached, so the ``obs.enabled`` guards take the
+  instrumented branch.  Its ratio against ``chaos_e2e`` is the
+  observability overhead ``--max-obs-overhead`` gates.
 
 Output rows follow the ``BENCH_sim_kernel.json`` schema::
 
     {"bench": str, "events_per_sec": float, "wall_s": float,
-     "seed": int, "py": "3.12"}
+     "seed": int, "py": "3.12", "scheduler": "calendar", "obs": "off"}
+
+``scheduler`` records what the bench actually ran on: the engine
+benches pin their kind, benches that never touch the engine say
+``"none"``, and end-to-end benches inherit the process default.
+``obs`` is ``"on"`` only for the obs-enabled variants.
 
 Noise protocol: each micro-bench runs R rounds and reports the best
 (minimum wall time) — the standard estimator for the noise floor on a
-shared machine.  ``--check`` applies the calibration normalization and
-a relative tolerance (default 15 %); ``--require-speedup`` additionally
-gates the calendar/heap ratio, which is machine-independent.
+shared machine.  The two ratio-gated pairs (heap/calendar, obs
+off/on) interleave their rounds round-robin so a CPU-contention burst
+cannot land on one side of the ratio only; the obs pair additionally
+takes the smaller of two slowdown estimators (paired-ratio median,
+best-on/best-off) since noise can only inflate either one — see
+:func:`_chaos_pair`.  ``--check`` applies the
+calibration normalization and a relative tolerance (default 15 %);
+``--require-speedup`` additionally gates the calendar/heap ratio and
+``--max-obs-overhead`` the obs-on/obs-off ratio, both
+machine-independent.
 """
 
 from __future__ import annotations
@@ -92,7 +108,22 @@ def _drive_engine(
     return engine.events_executed / elapsed
 
 
-def _bench_engine(kind: str, quick: bool, seed: int) -> Dict[str, float]:
+#: Interleaved-pair measurement cache, keyed on (quick, seed).  The
+#: speedup and obs-overhead gates are *ratios* of two wall-clock
+#: measurements; running the two sides as separate back-to-back benches
+#: lets a noise burst land on one side only and swing the ratio past
+#: the gate budget.  Round-robin interleaving gives both sides of each
+#: ratio the same quiet windows, so best-of-rounds converges on the
+#: code difference rather than the neighbours' CPU bursts.  Requesting
+#: either member of a pair measures both (the partner is cached).
+_PAIR_CACHE: Dict[tuple, Dict[str, Dict[str, object]]] = {}
+
+
+def _engine_pair(quick: bool, seed: int) -> Dict[str, Dict[str, object]]:
+    key = ("engine", quick, seed)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not None:
+        return cached
     outstanding = 8192 if quick else 32768
     n_events = 150_000 if quick else 500_000
     rounds = 3 if quick else 5
@@ -100,21 +131,34 @@ def _bench_engine(kind: str, quick: bool, seed: int) -> Dict[str, float]:
     # loop's own (~0.4 events/µs of simulated time).
     spread = outstanding * 2500
     deltas = _chaos_deltas(n_events, seed)
-    best_eps = 0.0
+    best = {"heap": 0.0, "calendar": 0.0}
     for _ in range(rounds):
-        best_eps = max(best_eps, _drive_engine(kind, outstanding, deltas, spread, seed))
-    return {"events_per_sec": best_eps, "wall_s": n_events / best_eps}
+        for kind in best:
+            best[kind] = max(
+                best[kind],
+                _drive_engine(kind, outstanding, deltas, spread, seed),
+            )
+    pair = {
+        kind: {
+            "events_per_sec": eps,
+            "wall_s": n_events / eps,
+            "scheduler": kind,
+        }
+        for kind, eps in best.items()
+    }
+    _PAIR_CACHE[key] = pair
+    return pair
 
 
-def bench_engine_heap(quick: bool, seed: int) -> Dict[str, float]:
-    return _bench_engine("heap", quick, seed)
+def bench_engine_heap(quick: bool, seed: int) -> Dict[str, object]:
+    return dict(_engine_pair(quick, seed)["heap"])
 
 
-def bench_engine_calendar(quick: bool, seed: int) -> Dict[str, float]:
-    return _bench_engine("calendar", quick, seed)
+def bench_engine_calendar(quick: bool, seed: int) -> Dict[str, object]:
+    return dict(_engine_pair(quick, seed)["calendar"])
 
 
-def bench_calibration(quick: bool, seed: int) -> Dict[str, float]:
+def bench_calibration(quick: bool, seed: int) -> Dict[str, object]:
     """Fixed integer-arithmetic spin; measures the interpreter+machine."""
     iterations = 2_000_000 if quick else 5_000_000
     rounds = 3
@@ -125,7 +169,11 @@ def bench_calibration(quick: bool, seed: int) -> Dict[str, float]:
         for i in range(iterations):
             accumulator = (accumulator * 31 + i) & 0xFFFFFFFF
         best = min(best, time.perf_counter() - start)
-    return {"events_per_sec": iterations / best, "wall_s": best}
+    return {
+        "events_per_sec": iterations / best,
+        "wall_s": best,
+        "scheduler": "none",
+    }
 
 
 def bench_p2sm_merge(quick: bool, seed: int) -> Dict[str, float]:
@@ -134,23 +182,33 @@ def bench_p2sm_merge(quick: bool, seed: int) -> Dict[str, float]:
 
     size_b, size_a = 256, 64
     iterations = 60 if quick else 300
-    rng = random.Random(seed)
-    target: SortedLinkedList[float] = SortedLinkedList(key=lambda value: value)
-    base_values = sorted(rng.uniform(0, 1000) for _ in range(size_b))
-    for value in base_values:
-        target.insert_sorted(value)
+    best_timed = float("inf")
     merged = 0
-    timed = 0.0
-    for _ in range(iterations):
-        values_a = [rng.uniform(0, 1000) for _ in range(size_a)]
-        start = time.perf_counter()
-        state = P2SMState(values_a, target)  # precompute phase
-        report = state.merge()  # Algorithm 1
-        timed += time.perf_counter() - start
-        merged += report.merged_elements
-        for value in values_a:  # untimed restore to steady state
-            target.remove(value)
-    return {"events_per_sec": merged / timed, "wall_s": timed}
+    for _ in range(3):  # best-of-rounds: identical work, min wall
+        rng = random.Random(seed)
+        target: SortedLinkedList[float] = SortedLinkedList(
+            key=lambda value: value
+        )
+        base_values = sorted(rng.uniform(0, 1000) for _ in range(size_b))
+        for value in base_values:
+            target.insert_sorted(value)
+        merged = 0
+        timed = 0.0
+        for _ in range(iterations):
+            values_a = [rng.uniform(0, 1000) for _ in range(size_a)]
+            start = time.perf_counter()
+            state = P2SMState(values_a, target)  # precompute phase
+            report = state.merge()  # Algorithm 1
+            timed += time.perf_counter() - start
+            merged += report.merged_elements
+            for value in values_a:  # untimed restore to steady state
+                target.remove(value)
+        best_timed = min(best_timed, timed)
+    return {
+        "events_per_sec": merged / best_timed,
+        "wall_s": best_timed,
+        "scheduler": "none",
+    }
 
 
 def bench_coalesced_load(quick: bool, seed: int) -> Dict[str, float]:
@@ -159,48 +217,126 @@ def bench_coalesced_load(quick: bool, seed: int) -> Dict[str, float]:
     iterations = 50_000 if quick else 200_000
     vcpus = 32
     update = AffineUpdate(alpha=0.9785, beta=1.5)
-    load = float(seed % 97) + 1.0
-    start = time.perf_counter()
-    for _ in range(iterations):
-        load = update.compose_n(vcpus).apply(load) % 1000.0
-    elapsed = time.perf_counter() - start
-    return {"events_per_sec": iterations / elapsed, "wall_s": elapsed}
+    best = float("inf")
+    for _ in range(3):  # best-of-rounds: identical work, min wall
+        load = float(seed % 97) + 1.0
+        start = time.perf_counter()
+        for _ in range(iterations):
+            load = update.compose_n(vcpus).apply(load) % 1000.0
+        best = min(best, time.perf_counter() - start)
+    return {
+        "events_per_sec": iterations / best,
+        "wall_s": best,
+        "scheduler": "none",
+    }
 
 
-def bench_chaos_e2e(quick: bool, seed: int) -> Dict[str, float]:
+def _chaos_pair(quick: bool, seed: int) -> Dict[str, Dict[str, object]]:
+    """Interleaved obs-off/obs-on chaos study wall clock.
+
+    The obs-on rounds use the null tracer + a real
+    :class:`MetricRegistry`: every ``obs.enabled`` guard takes the
+    instrumented branch and every counter/histogram update does real
+    work, without the unbounded span-retention cost of a full tracer.
+    """
+    key = ("chaos", quick, seed)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not None:
+        return cached
     from repro.experiments.chaos import ChaosConfig, run_chaos
+    from repro.obs import MetricRegistry, NULL_TRACER, Observability, activate
 
-    config = ChaosConfig(
-        hosts=2, requests=400 if quick else 1200, seed=seed
-    )
-    start = time.perf_counter()
-    result = run_chaos(config)
-    elapsed = time.perf_counter() - start
-    requests = config.requests * len(result.outcomes)
-    return {"events_per_sec": requests / elapsed, "wall_s": elapsed}
+    config = ChaosConfig(hosts=2, requests=400 if quick else 1200, seed=seed)
+    # Five rounds even in quick mode: the median needs enough paired
+    # samples to discard two noisy rounds, and the quick study is cheap.
+    rounds = 5
+    walls_off: List[float] = []
+    walls_on: List[float] = []
+    ratios: List[float] = []
+    outcomes = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run_chaos(config)
+        wall_off = time.perf_counter() - start
+        with activate(Observability(NULL_TRACER, MetricRegistry())):
+            start = time.perf_counter()
+            result = run_chaos(config)
+            wall_on = time.perf_counter() - start
+        walls_off.append(wall_off)
+        walls_on.append(wall_on)
+        ratios.append(wall_on / wall_off)
+        outcomes = len(result.outcomes)
+    requests = config.requests * outcomes
+    best_off = min(walls_off)
+    # The gate reads the obs overhead as the eps ratio of the two rows,
+    # so the on-row is derived from the off-best and a slowdown
+    # estimate.  Two estimators, take the smaller:
+    #
+    # * the *median* of the per-round paired ratios — each ratio
+    #   compares two runs from the same window, and the median discards
+    #   rounds where a burst straddled the pair boundary;
+    # * *best-on over best-off* — each min independently converges to
+    #   that variant's noise-free floor given enough rounds.
+    #
+    # Noise on a shared machine only ever inflates a wall clock, so
+    # each estimator errs high when its assumption breaks (a majority
+    # of noisy rounds for the median, too few clean rounds for the
+    # mins).  A real instrumentation regression shifts the whole obs-on
+    # distribution and therefore moves *both* estimators; taking the
+    # min keeps the gate from tripping when only one is contaminated.
+    slowdown = min(sorted(ratios)[len(ratios) // 2], min(walls_on) / best_off)
+    pair = {
+        "off": {"events_per_sec": requests / best_off, "wall_s": best_off},
+        "on": {
+            "events_per_sec": requests / (best_off * slowdown),
+            "wall_s": best_off * slowdown,
+            "obs": "on",
+        },
+    }
+    _PAIR_CACHE[key] = pair
+    return pair
 
 
-def bench_cluster_study_e2e(quick: bool, seed: int) -> Dict[str, float]:
+def bench_chaos_e2e(quick: bool, seed: int) -> Dict[str, object]:
+    return dict(_chaos_pair(quick, seed)["off"])
+
+
+def bench_chaos_e2e_obs_on(quick: bool, seed: int) -> Dict[str, object]:
+    """The chaos study with live metrics attached (obs-enabled path).
+
+    The machine-independent ratio against ``chaos_e2e`` is what
+    ``--max-obs-overhead`` gates; see :func:`_chaos_pair` for why the
+    two variants are measured interleaved.
+    """
+    return dict(_chaos_pair(quick, seed)["on"])
+
+
+def bench_cluster_study_e2e(quick: bool, seed: int) -> Dict[str, object]:
     from repro.experiments.cluster_study import run_cluster_study
 
-    start = time.perf_counter()
-    result = run_cluster_study(
-        hosts=2, functions=4, duration_s=30.0 if quick else 120.0, seed=seed
-    )
-    elapsed = time.perf_counter() - start
-    triggers = sum(
-        result.outcome(policy).triggers for policy in result.policies()
-    )
-    return {"events_per_sec": triggers / elapsed, "wall_s": elapsed}
+    best = float("inf")
+    triggers = 0
+    for _ in range(3):  # best-of-rounds: identical work, min wall
+        start = time.perf_counter()
+        result = run_cluster_study(
+            hosts=2, functions=4, duration_s=30.0 if quick else 120.0,
+            seed=seed,
+        )
+        best = min(best, time.perf_counter() - start)
+        triggers = sum(
+            result.outcome(policy).triggers for policy in result.policies()
+        )
+    return {"events_per_sec": triggers / best, "wall_s": best}
 
 
-BENCHES: Dict[str, Callable[[bool, int], Dict[str, float]]] = {
+BENCHES: Dict[str, Callable[[bool, int], Dict[str, object]]] = {
     "calibration": bench_calibration,
     "engine_heap_chaos": bench_engine_heap,
     "engine_calendar_chaos": bench_engine_calendar,
     "p2sm_merge": bench_p2sm_merge,
     "coalesced_load": bench_coalesced_load,
     "chaos_e2e": bench_chaos_e2e,
+    "chaos_e2e_obs_on": bench_chaos_e2e_obs_on,
     "cluster_study_e2e": bench_cluster_study_e2e,
 }
 
@@ -218,6 +354,8 @@ def run_benches(
             raise ValueError(
                 f"unknown bench {name!r}; choose from {', '.join(BENCHES)}"
             )
+    from repro.sim.engine import default_scheduler
+
     rows: List[Dict[str, object]] = []
     for name in names:
         log(f"running {name} ...")
@@ -225,10 +363,15 @@ def run_benches(
         rows.append(
             {
                 "bench": name,
-                "events_per_sec": round(measured["events_per_sec"], 1),
-                "wall_s": round(measured["wall_s"], 4),
+                "events_per_sec": round(float(measured["events_per_sec"]), 1),
+                "wall_s": round(float(measured["wall_s"]), 4),
                 "seed": seed,
                 "py": _PY,
+                # Benches that never touch the engine report "none";
+                # the engine benches pin their own kind; everything
+                # else runs on the process default.
+                "scheduler": measured.get("scheduler", default_scheduler()),
+                "obs": measured.get("obs", "off"),
             }
         )
         log(
@@ -246,13 +389,15 @@ def check_against_baseline(
     baseline_rows: List[Dict[str, object]],
     tolerance: float = 0.15,
     require_speedup: Optional[float] = None,
+    max_obs_overhead: Optional[float] = None,
     log: Callable[[str], None] = print,
 ) -> bool:
     """True when no bench regressed beyond *tolerance*.
 
     Scores are normalized by the calibration ratio between the two
-    machines before comparison; the optional calendar/heap speedup gate
-    is a pure ratio and needs no normalization.
+    machines before comparison; the optional calendar/heap speedup and
+    obs-overhead gates are pure same-machine ratios and need no
+    normalization.
     """
     current = {str(row["bench"]): row for row in rows}
     baseline = {str(row["bench"]): row for row in baseline_rows}
@@ -291,6 +436,22 @@ def check_against_baseline(
             log(
                 f"calendar/heap speedup {ratio:.2f}x "
                 f"(required {require_speedup:.2f}x) {verdict}"
+            )
+    if max_obs_overhead is not None:
+        obs_off = current.get("chaos_e2e")
+        obs_on = current.get("chaos_e2e_obs_on")
+        if obs_off is None or obs_on is None:
+            log("obs-overhead gate skipped: chaos_e2e benches not in this run")
+        else:
+            overhead = 1.0 - float(obs_on["events_per_sec"]) / float(
+                obs_off["events_per_sec"]
+            )
+            verdict = "ok" if overhead <= max_obs_overhead else "OVER BUDGET"
+            if overhead > max_obs_overhead:
+                ok = False
+            log(
+                f"obs-enabled chaos overhead {overhead * 100:.2f}% "
+                f"(budget {max_obs_overhead * 100:.2f}%) {verdict}"
             )
     return ok
 
@@ -332,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-speedup", type=float, default=None, metavar="X",
         help="fail unless calendar/heap events/sec ratio is >= X",
     )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=None, metavar="F",
+        help="fail if the obs-enabled chaos run is more than F (fraction, "
+        "e.g. 0.05) slower than the obs-off run",
+    )
     return parser
 
 
@@ -361,12 +527,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline_rows,
             tolerance=args.tolerance,
             require_speedup=args.require_speedup,
+            max_obs_overhead=args.max_obs_overhead,
         )
         return 0 if ok else 1
-    if args.require_speedup is not None:
+    if args.require_speedup is not None or args.max_obs_overhead is not None:
         ok = check_against_baseline(
             rows, [], tolerance=args.tolerance,
             require_speedup=args.require_speedup,
+            max_obs_overhead=args.max_obs_overhead,
         )
         return 0 if ok else 1
     return 0

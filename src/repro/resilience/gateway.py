@@ -39,8 +39,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.faas.cluster import FaaSCluster, NoHealthyHostError
 from repro.faas.invocation import Invocation, StartType
 from repro.hypervisor.pause_resume import HungResumeError, TransientResumeError
-from repro.obs.context import Observability, current as current_obs
-from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.obs.context import NULL_OBS, Observability, current as current_obs
+from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.resilience.degradation import (
     AdmissionConfig,
     AdmissionController,
@@ -65,7 +65,7 @@ class RequestState(enum.Enum):
         return self is not RequestState.IN_FLIGHT
 
 
-@dataclass
+@dataclass(slots=True)
 class Attempt:
     """One dispatch of a request onto one host."""
 
@@ -82,7 +82,7 @@ class Attempt:
     completion_event: object = field(default=None, repr=False)
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """Ledger entry for one submitted invocation request."""
 
@@ -102,10 +102,14 @@ class Request:
     current_start: StartType = StartType.WARM
     redundant_hedges: int = 0
     run_logic: bool = False
+    #: maintained count of non-hedge attempts — the retry-budget check
+    #: runs on every attempt and every no-host wait, so it must not
+    #: re-scan the attempt list each time
+    primary_count: int = 0
 
     @property
     def primary_attempts(self) -> int:
-        return sum(1 for attempt in self.attempts if not attempt.hedge)
+        return self.primary_count
 
     @property
     def retries(self) -> int:
@@ -147,6 +151,9 @@ class ResilientGateway:
         self.config = config
         self.obs = obs if obs is not None else current_obs()
         self.engine = cluster.engine
+        # The sim clock never changes identity; reading it directly
+        # skips two property hops per `now` on the attempt hot loop.
+        self._clock = cluster.engine.clock
         self._rng = RngRegistry(seed).fork("resilient-gateway").stream("backoff")
         self.requests: List[Request] = []
         self.admission = AdmissionController(config.admission)
@@ -162,10 +169,56 @@ class ResilientGateway:
                 for i in range(len(cluster.hosts))
             }
             cluster.host_gate = self._breaker_gate
+        # Counter handles are cached per name; a tracer/registry swap on
+        # the bundle invalidates the cache (NULL_OBS never rebinds and
+        # must not hold hook references, so it is left unhooked).
+        self._counters: Dict[str, object] = {}
+        #: latency histogram handle, bound per registry (hot: one
+        #: observe per completed request).
+        self._hist_latency: Optional[object] = None
+        #: Registry the no-host-wait collector is installed on.  Every
+        #: request already counts its own waits — so instead of a
+        #: per-event inc, a collector folds the existing per-request
+        #: tallies into the counter at snapshot time (same batching
+        #: pattern as the PELT fold export in repro.hypervisor.cpu).
+        self._collector_registry: Optional[object] = None
+        #: The capacity parking lot.  A request that finds no routable
+        #: host parks here instead of polling with backoff (the old
+        #: rewait ladder burned ~30 events per request under full
+        #: chaos — the profiler attributed 74 % of the study's events
+        #: to it).  Parked requests are drained when capacity can have
+        #: returned: a breaker's open window expiring (timed wake), a
+        #: half-open probe slot freeing (completion drain), a host
+        #: recovering, or — the resolution backstop — the earliest
+        #: parked deadline, where ``_launch`` fails the request.
+        self._parked: List[Request] = []
+        #: Earliest pending capacity-wake event time (coalesces wakes;
+        #: stale wake events drain harmlessly).
+        self._wake_at: Optional[int] = None
+        self._draining = False
+        if self.obs is not NULL_OBS:
+            self.obs.on_rebind(self._rebind_instruments)
+
+    def _rebind_instruments(self, obs: Observability) -> None:
+        self._counters.clear()
+        self._hist_latency = None
+        metrics = obs.metrics
+        if metrics.enabled and self._collector_registry is not metrics:
+            self._collector_registry = metrics
+            counter = metrics.counter(
+                "resilience.no_host_wait",
+                "attempt deferrals with no routable host",
+            )
+            requests = self.requests
+
+            def export_no_host_waits() -> None:
+                counter.value = sum(r.no_host_waits for r in requests)
+
+            metrics.add_collector(export_no_host_waits)
 
     # ------------------------------------------------------------------
     def _breaker_gate(self, index: int) -> bool:
-        return self.breakers[index].allow(self.engine.now)
+        return self.breakers[index].allow(self._clock._now)
 
     def attach(self, injector: FailureInjector) -> None:
         """Subscribe to the injector's crash/recovery notifications."""
@@ -176,7 +229,12 @@ class ResilientGateway:
         return self.cluster.hosts[0].registry.get(function_name)
 
     def _counter(self, name: str, help_text: str = ""):
-        return self.obs.metrics.counter(name, help_text)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = self.obs.metrics.counter(
+                name, help_text
+            )
+        return counter
 
     # ------------------------------------------------------------------
     # Submission
@@ -189,7 +247,7 @@ class ResilientGateway:
         run_logic: bool = False,
     ) -> Request:
         """Admit (or shed) one request and start its first attempt."""
-        now = self.engine.now
+        now = self._clock._now
         spec = self._spec(function_name)
         request = Request(
             request_id=len(self.requests),
@@ -223,42 +281,56 @@ class ResilientGateway:
     def _launch(
         self, request: Request, hedge: bool, exclude: Tuple[int, ...] = ()
     ) -> None:
-        if request.state.terminal:
+        # `request.state.terminal` and `request.primary_attempts`
+        # inlined: this method runs once per attempt AND once per
+        # no-host rewait (~30x per request under full chaos), so every
+        # property hop here is paid tens of thousands of times.
+        if request.state is not RequestState.IN_FLIGHT:
             return
-        now = self.engine.now
+        now = self._clock._now
+        config = self.config
         if hedge:
-            if request.hedges_used >= self.config.hedge.max_hedges:
+            if request.hedges_used >= config.hedge.max_hedges:
                 return
         else:
             if now >= request.deadline_ns:
                 self._maybe_fail(request, "deadline")
                 return
-            if request.primary_attempts >= self.config.retry.max_attempts:
+            if request.primary_count >= config.retry.max_attempts:
                 self._maybe_fail(request, "retry-budget")
                 return
-        try:
-            with self.cluster.excluding(*exclude):
-                host_index = self.cluster.placement.choose(
-                    self.cluster, request.function
+        cluster = self.cluster
+        if exclude:
+            with cluster.excluding(*exclude):
+                candidates = cluster.routable_or_empty()
+                host_index = (
+                    cluster.placement.choose_from(
+                        cluster, request.function, candidates
+                    )
+                    if candidates
+                    else None
                 )
-        except NoHealthyHostError:
+        else:
+            # No exclusions on the primary/retry path; skipping the
+            # context manager keeps the (frequent) no-host wait loop
+            # off the contextlib machinery, and the empty-candidates
+            # branch keeps it off exception machinery too.
+            candidates = cluster.routable_or_empty()
+            host_index = (
+                cluster.placement.choose_from(
+                    cluster, request.function, candidates
+                )
+                if candidates
+                else None
+            )
+        if host_index is None:
             if hedge:
                 return  # hedging is best-effort; the primary is still out
+            # No metric traffic here: the snapshot-time collector
+            # installed in _rebind_instruments exports the sum of the
+            # per-request tallies.
             request.no_host_waits += 1
-            delay = self.config.retry.backoff_ns(
-                max(1, request.primary_attempts + request.no_host_waits),
-                self._rng,
-            )
-            if self.obs.enabled:
-                self._counter(
-                    "resilience.no_host_wait",
-                    "attempt deferrals with no routable host",
-                ).inc()
-            self.engine.schedule_at(
-                now + delay,
-                lambda: self._launch(request, hedge=False),
-                label=f"resilience-rewait:{request.request_id}",
-            )
+            self._park(request, now)
             return
 
         host = self.cluster.hosts[host_index]
@@ -282,6 +354,8 @@ class ResilientGateway:
             hedge=hedge,
         )
         request.attempts.append(attempt)
+        if not hedge:
+            request.primary_count += 1
         if hedge:
             request.hedges_used += 1
             if self.obs.enabled:
@@ -299,7 +373,7 @@ class ResilientGateway:
             self._attempt_failed(
                 request, attempt, "transient",
                 retry_delay_ns=self.config.retry.backoff_ns(
-                    max(1, request.primary_attempts), self._rng
+                    max(1, request.primary_count), self._rng
                 ),
             )
             return
@@ -323,6 +397,64 @@ class ResilientGateway:
         if not hedge:
             self._schedule_hedge(request, host_index, now)
 
+    # ------------------------------------------------------------------
+    # The capacity parking lot
+    # ------------------------------------------------------------------
+    def _park(self, request: Request, now: int) -> None:
+        """Wait for routable capacity without polling.
+
+        The wake time is the earliest instant anything *timed* can
+        change routability: an OPEN breaker on a healthy host reaching
+        its half-open probe window, or the request's own retry
+        deadline (which resolves it via ``_maybe_fail``).  Untimed
+        capacity changes — a half-open probe slot freeing, a crashed
+        host recovering — drain the lot from the corresponding gateway
+        hooks instead, so no event fires while nothing can change.
+        """
+        self._parked.append(request)
+        target = request.deadline_ns
+        health = self.cluster.health
+        for index, breaker in self.breakers.items():
+            if breaker.state is BreakerState.OPEN and health[index].up:
+                assert breaker.opened_at_ns is not None
+                target = min(
+                    target, breaker.opened_at_ns + breaker.config.open_ns
+                )
+        # A drain at `now` would re-park into a same-instant loop: the
+        # breaker windows and the deadline are both strictly ahead, and
+        # the clamp keeps it that way against future callers.
+        target = max(target, now + 1)
+        if self._wake_at is None or target < self._wake_at:
+            self._wake_at = target
+            self.engine.schedule_at(
+                target,
+                self._wake,
+                label="resilience-capacity-wake",
+                transient=True,
+            )
+
+    def _wake(self) -> None:
+        self._wake_at = None
+        self._drain_parked()
+
+    def _drain_parked(self) -> None:
+        """Re-dispatch every parked request (they re-park if still dry).
+
+        Guarded against re-entry: a drained request whose attempt fails
+        synchronously lands back in ``_attempt_failed`` which may drain
+        again mid-iteration otherwise.
+        """
+        if not self._parked or self._draining:
+            return
+        self._draining = True
+        try:
+            parked = self._parked
+            self._parked = []
+            for request in parked:
+                self._launch(request, hedge=False)
+        finally:
+            self._draining = False
+
     def _schedule_hedge(
         self, request: Request, primary_host: int, now: int
     ) -> None:
@@ -337,6 +469,7 @@ class ResilientGateway:
                 now + self.config.hedge.delay_ns,
                 lambda: self._maybe_hedge(request, primary_host),
                 label=f"resilience-hedge:{request.request_id}",
+                transient=True,
             )
 
     def _maybe_hedge(self, request: Request, primary_host: int) -> None:
@@ -348,20 +481,21 @@ class ResilientGateway:
         self, request: Request, attempt: Attempt, sandbox, host_index: int
     ) -> None:
         """A resume hung: the attempt looks in-flight until the timeout."""
-        now = self.engine.now
+        now = self._clock._now
         attempt.executing = True
         request.executing += 1
         self.engine.schedule_at(
             now + self.config.retry.hang_timeout_ns,
             lambda: self._on_hang_timeout(request, attempt, sandbox),
             label=f"resilience-hang:{request.request_id}.{attempt.index}",
+            transient=True,
         )
         if not attempt.hedge:
             self._schedule_hedge(request, host_index, now)
 
     def _on_hang_timeout(self, request: Request, attempt: Attempt, sandbox) -> None:
         """The hang timeout fired: write the attempt (and sandbox) off."""
-        now = self.engine.now
+        now = self._clock._now
         attempt.executing = False
         attempt.status = "hung"
         request.executing -= 1
@@ -385,12 +519,17 @@ class ResilientGateway:
     # Outcomes
     # ------------------------------------------------------------------
     def _on_complete(self, request: Request, attempt: Attempt) -> None:
-        now = self.engine.now
+        now = self._clock._now
         attempt.executing = False
         request.executing -= 1
         self._forget_inflight(attempt.host, attempt)
         breaker = self.breakers.get(attempt.host)
+        freed_capacity = False
         if breaker is not None:
+            # A success on a gated breaker re-opens routing (half-open
+            # probe slot freed, or the breaker re-closed) — that is new
+            # capacity the parked requests are waiting on.
+            freed_capacity = breaker.state is not BreakerState.CLOSED
             breaker.record_success(now)
         if request.state is RequestState.IN_FLIGHT:
             request.state = RequestState.COMPLETED
@@ -401,10 +540,13 @@ class ResilientGateway:
                 self._counter(
                     "resilience.complete", "requests completed"
                 ).inc()
-                self.obs.metrics.histogram(
-                    "request.latency_ns",
-                    help="submit -> completion, retries/backoff included",
-                ).observe(request.latency_ns or 0)
+                histogram = self._hist_latency
+                if histogram is None:
+                    histogram = self._hist_latency = self.obs.metrics.histogram(
+                        "request.latency_ns",
+                        help="submit -> completion, retries/backoff included",
+                    )
+                histogram.observe(request.latency_ns or 0)
         else:
             request.redundant_hedges += 1
             if self.obs.enabled:
@@ -412,6 +554,8 @@ class ResilientGateway:
                     "resilience.hedge_redundant",
                     "hedged attempts that lost the race",
                 ).inc()
+        if freed_capacity:
+            self._drain_parked()
 
     def _attempt_failed(
         self,
@@ -420,7 +564,7 @@ class ResilientGateway:
         kind: str,
         retry_delay_ns: int,
     ) -> None:
-        now = self.engine.now
+        now = self._clock._now
         attempt.status = kind
         breaker = self.breakers.get(attempt.host)
         if breaker is not None:
@@ -438,6 +582,7 @@ class ResilientGateway:
             now + retry_delay_ns,
             lambda: self._launch(request, hedge=False),
             label=f"resilience-retry:{request.request_id}",
+            transient=True,
         )
 
     def _maybe_fail(self, request: Request, reason: str) -> None:
@@ -506,22 +651,27 @@ class ResilientGateway:
                 now_ns + delay,
                 lambda r=request: self._launch(r, hedge=False),
                 label=f"resilience-crash-retry:{request.request_id}",
+                transient=True,
             )
 
     def _handle_recover(self, host_index: int, now_ns: int) -> None:
         """Re-warm a recovered host so warm affinity can return to it."""
-        if self.config.rewarm_per_host < 1:
-            return
-        host = self.cluster.hosts[host_index]
-        for name in host.registry.names():
-            spec = host.registry.get(name)
-            host.provision_warm(
-                name, count=self.config.rewarm_per_host, use_horse=spec.is_ull
-            )
-        if self.obs.enabled:
-            self._counter(
-                "resilience.rewarm", "host recoveries re-warmed"
-            ).inc()
+        if self.config.rewarm_per_host >= 1:
+            host = self.cluster.hosts[host_index]
+            for name in host.registry.names():
+                spec = host.registry.get(name)
+                host.provision_warm(
+                    name,
+                    count=self.config.rewarm_per_host,
+                    use_horse=spec.is_ull,
+                )
+            if self.obs.enabled:
+                self._counter(
+                    "resilience.rewarm", "host recoveries re-warmed"
+                ).inc()
+        # The recovered host is routable again (modulo its breaker) —
+        # wake anything waiting for capacity.
+        self._drain_parked()
 
     # ------------------------------------------------------------------
     # Ledger queries & invariants

@@ -45,16 +45,25 @@ class RetryPolicy:
             raise ValueError("max_backoff_ns must be >= base_backoff_ns")
         if self.hang_timeout_ns <= 0:
             raise ValueError(f"hang_timeout_ns must be > 0, got {self.hang_timeout_ns}")
+        # Ceiling memo (not a dataclass field: excluded from eq/repr).
+        # The policy is frozen, so the ceiling for a given attempt
+        # number never changes — but the no-host rewait loop asks for
+        # it tens of thousands of times per chaos run, and float pow
+        # per call adds up.
+        object.__setattr__(self, "_ceilings", {})
 
     def backoff_ns(self, attempt: int, rng: random.Random) -> int:
         """Jittered delay before retry number *attempt* (1-based: the
         delay taken after the first failed attempt is ``attempt=1``)."""
-        if attempt < 1:
-            raise ValueError(f"attempt must be >= 1, got {attempt}")
-        ceiling = min(
-            float(self.max_backoff_ns),
-            self.base_backoff_ns * self.multiplier ** (attempt - 1),
-        )
+        ceiling = self._ceilings.get(attempt)
+        if ceiling is None:
+            if attempt < 1:
+                raise ValueError(f"attempt must be >= 1, got {attempt}")
+            ceiling = min(
+                float(self.max_backoff_ns),
+                self.base_backoff_ns * self.multiplier ** (attempt - 1),
+            )
+            self._ceilings[attempt] = ceiling
         # Full jitter over the upper half keeps delays spread but never
         # degenerate-small (a zero backoff would retry the same instant
         # the failure happened).

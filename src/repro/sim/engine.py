@@ -12,7 +12,10 @@ calendar queue with amortized O(1) push/pop for throughput-bound runs.
 Both drain events in the identical total order, so the choice never
 changes results, only wall-clock.  The process-wide default comes from
 :func:`set_default_scheduler` or the ``REPRO_SIM_SCHEDULER``
-environment variable.
+environment variable, and is the calendar queue: it drains the chaos
+profile >2x faster than the heap (``BENCH_sim_kernel.json``) and the
+cross-scheduler identity is CI-enforced, so the heap survives as the
+reference implementation the calendar is diffed against.
 
 Hot-path design (see DESIGN.md §10): events are ``__slots__`` objects;
 events whose handles the call site discards (process sleeps, wake-ups)
@@ -43,9 +46,14 @@ _POOL_CAP = 4096
 
 _ENV_SCHEDULER = "REPRO_SIM_SCHEDULER"
 
-_default_scheduler = os.environ.get(_ENV_SCHEDULER, "heap")
+#: Plain-int default for schedule_* priorities.  EventPriority is an
+#: IntEnum; using the member itself as the default would make every
+#: default-priority call pay an ``int()`` conversion in schedule_at.
+_PRIORITY_NORMAL = int(EventPriority.NORMAL)
+
+_default_scheduler = os.environ.get(_ENV_SCHEDULER, "calendar")
 if _default_scheduler not in scheduler_kinds():
-    _default_scheduler = "heap"
+    _default_scheduler = "calendar"
 
 
 def set_default_scheduler(kind: str) -> str:
@@ -87,6 +95,13 @@ class Engine:
         #: callbacks invoked as f(event) after each executed event —
         #: how the repro.check invariant registry observes every step.
         self._watchers: list[Callable[[Event], None]] = []
+        # Engines built inside a repro.obs.profile.profiling() block
+        # route dispatch through the profiled drain; everyone else pays
+        # one None check per run() call.  Imported lazily to keep the
+        # sim kernel import-independent of the obs package.
+        from repro.obs.profile import current_profiler
+
+        self._profiler = current_profiler()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -110,7 +125,7 @@ class Engine:
         self,
         when: int,
         callback: Callable[[], None],
-        priority: int = EventPriority.NORMAL,
+        priority: int = _PRIORITY_NORMAL,
         label: str = "",
         transient: bool = False,
     ) -> Event:
@@ -156,7 +171,7 @@ class Engine:
         self,
         delay: int,
         callback: Callable[[], None],
-        priority: int = EventPriority.NORMAL,
+        priority: int = _PRIORITY_NORMAL,
         label: str = "",
         transient: bool = False,
     ) -> Event:
@@ -230,7 +245,9 @@ class Engine:
         clock = self.clock
         pop_due = self._sched.pop_due
         try:
-            if max_events is None and not self._watchers:
+            if self._profiler is not None and max_events is None:
+                executed = self._run_profiled(until, self._profiler)
+            elif max_events is None and not self._watchers:
                 # Fast path: no step budget, no observers.  Each
                 # scheduler ships its own inlined dispatch loop.
                 executed = self._sched.drain(self, until)
@@ -255,6 +272,52 @@ class Engine:
             self._running = False
         if until is not None and clock._now < until:
             clock.advance_to(until)
+        return executed
+
+    def _run_profiled(self, until: Optional[int], profiler) -> int:
+        """Dispatch loop with per-event subsystem attribution.
+
+        Mirrors the watcher-capable slow path (never the schedulers'
+        inlined drains) so every event passes through one place where
+        its label, simulated interval, and callback wall time can be
+        recorded.  Sample counts and sim-ns are deterministic; wall-ns
+        is measured but kept out of the deterministic artifacts.
+        """
+        import time as _time
+
+        executed = 0
+        clock = self.clock
+        pop_due = self._sched.pop_due
+        watchers = self._watchers
+        record = profiler.record
+        perf = _time.perf_counter_ns
+        last_sim = clock._now
+        while True:
+            t0 = perf()
+            event = pop_due(until)
+            profiler.scheduler_wall_ns += perf() - t0
+            if event is None:
+                break
+            if event.cancelled:
+                profiler.record_cancelled()
+                self._recycle(event)
+                continue
+            when = event.time
+            clock.advance_to(when)
+            label = event.label
+            t0 = perf()
+            event.callback()
+            wall = perf() - t0
+            executed += 1
+            self._events_executed += 1
+            record(label, when - last_sim, wall)
+            last_sim = when
+            if watchers:
+                t0 = perf()
+                for watcher in watchers:
+                    watcher(event)
+                profiler.watcher_wall_ns += perf() - t0
+            self._recycle(event)
         return executed
 
     def _recycle(self, event: Event) -> None:

@@ -72,6 +72,30 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", bounds=(10.0, 1.0))
 
+    def test_empty_series(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_single_sample_every_quantile_is_that_sample(self):
+        histogram = Histogram("h", bounds=(10.0, 100.0))
+        histogram.observe(37.0)
+        assert histogram.minimum == histogram.maximum == 37.0
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(37.0)
+
+    def test_duplicate_values_clamp_to_the_value(self):
+        # All mass on one point: interpolation inside the bucket must
+        # not invent a spread the data doesn't have.
+        histogram = Histogram("h", bounds=(10.0, 100.0, 1000.0))
+        for _ in range(5):
+            histogram.observe(50.0)
+        assert histogram.mean == pytest.approx(50.0)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == pytest.approx(50.0)
+
 
 class TestRegistry:
     def test_cross_type_name_collision_rejected(self):
@@ -106,6 +130,42 @@ class TestRegistry:
         registry = MetricRegistry()
         assert registry.counter("c", help="events").help == "events"
         assert registry.histogram("h", help="latency").help == "latency"
+
+
+class TestBoundHandles:
+    """Registry-level handle cache: metric names are global, so bound
+    instrument tuples are shared across short-lived components instead
+    of being rebuilt per instance."""
+
+    def test_factory_runs_once_and_result_is_shared(self):
+        registry = MetricRegistry()
+        calls = []
+
+        def factory(metrics):
+            calls.append(metrics)
+            return (metrics.counter("f.hits"), metrics.counter("f.misses"))
+
+        first = registry.bound("f", factory)
+        second = registry.bound("f", factory)
+        assert first is second
+        assert calls == [registry]
+        first[0].inc()
+        assert registry.counter("f.hits").value == 1
+
+    def test_caches_are_per_registry(self):
+        factory = lambda metrics: metrics.counter("c")
+        a, b = MetricRegistry(), MetricRegistry()
+        assert a.bound("k", factory) is not b.bound("k", factory)
+
+    def test_clear_drops_cached_handles(self):
+        registry = MetricRegistry()
+        factory = lambda metrics: metrics.counter("c")
+        stale = registry.bound("k", factory)
+        registry.clear()
+        fresh = registry.bound("k", factory)
+        assert fresh is not stale
+        fresh.inc()
+        assert registry.counter("c").value == 1
 
 
 class TestNullRegistry:

@@ -36,10 +36,15 @@ class TestRunBenches:
         rows = run_benches(quick=True, only=["calibration"])
         assert len(rows) == 1
         row = rows[0]
-        assert set(row) == {"bench", "events_per_sec", "wall_s", "seed", "py"}
+        assert set(row) == {
+            "bench", "events_per_sec", "wall_s", "seed", "py",
+            "scheduler", "obs",
+        }
         assert row["bench"] == "calibration"
         assert row["events_per_sec"] > 0
         assert row["wall_s"] > 0
+        assert row["scheduler"] == "none"
+        assert row["obs"] == "off"
 
     def test_unknown_bench_rejected(self):
         with pytest.raises(ValueError, match="unknown bench"):
@@ -53,6 +58,7 @@ class TestRunBenches:
             "p2sm_merge",
             "coalesced_load",
             "chaos_e2e",
+            "chaos_e2e_obs_on",
             "cluster_study_e2e",
         }
 
@@ -97,6 +103,22 @@ class TestCheckAgainstBaseline:
         rows = [_row("brand_new_bench", 1.0)]
         assert check_against_baseline(rows, [], log=lambda _: None)
 
+    def test_obs_overhead_gate_passes_and_fails_on_budget(self):
+        cheap = [_row("chaos_e2e", 100.0), _row("chaos_e2e_obs_on", 97.0)]
+        costly = [_row("chaos_e2e", 100.0), _row("chaos_e2e_obs_on", 90.0)]
+        assert check_against_baseline(
+            cheap, [], max_obs_overhead=0.05, log=lambda _: None
+        )
+        assert not check_against_baseline(
+            costly, [], max_obs_overhead=0.05, log=lambda _: None
+        )
+
+    def test_obs_overhead_gate_skipped_without_both_benches(self):
+        rows = [_row("chaos_e2e", 100.0)]
+        assert check_against_baseline(
+            rows, [], max_obs_overhead=0.0, log=lambda _: None
+        )
+
 
 class TestCommittedBaseline:
     def test_committed_baseline_has_schema_and_speedup(self):
@@ -104,12 +126,23 @@ class TestCommittedBaseline:
             rows = json.load(handle)
         by_name = {row["bench"]: row for row in rows}
         for row in rows:
-            assert set(row) == {"bench", "events_per_sec", "wall_s", "seed", "py"}
+            assert set(row) == {
+                "bench", "events_per_sec", "wall_s", "seed", "py",
+                "scheduler", "obs",
+            }
         ratio = (
             by_name["engine_calendar_chaos"]["events_per_sec"]
             / by_name["engine_heap_chaos"]["events_per_sec"]
         )
         assert ratio >= 2.0
+
+    def test_committed_baseline_obs_overhead_within_budget(self):
+        with open(BENCH_BASELINE) as handle:
+            rows = json.load(handle)
+        by_name = {row["bench"]: row for row in rows}
+        obs_off = by_name["chaos_e2e"]["events_per_sec"]
+        obs_on = by_name["chaos_e2e_obs_on"]["events_per_sec"]
+        assert 1.0 - obs_on / obs_off <= 0.05
 
 
 class TestCli:
@@ -120,6 +153,7 @@ class TestCli:
         assert args.baseline == BENCH_BASELINE
         assert args.tolerance == 0.15
         assert args.require_speedup is None
+        assert args.max_obs_overhead is None
 
     def test_main_runs_subset_and_writes(self, tmp_path, capsys):
         out = tmp_path / "rows.json"
