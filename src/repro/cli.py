@@ -89,7 +89,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     _apply_scheduler(args)
     spec = get_experiment(args.name)
     result = spec.run(
-        ExperimentConfig(fast=args.fast, seed=args.seed, platform=args.platform)
+        ExperimentConfig(
+            fast=args.fast,
+            seed=args.seed,
+            platform=args.platform,
+            shards=args.shards,
+        )
     )
     if args.json:
         print(result.to_json())
@@ -197,6 +202,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     and every resilience invariant held; 1 means a mode reported
     violations.  Output is deterministic: two runs with the same seed
     and flags are byte-identical (the CI chaos job diffs them).
+
+    With ``--shards N`` the run uses the sharded engine (DESIGN.md
+    §12): the cluster becomes ``--groups`` failure-domain cells, each
+    on its own engine, distributed over N worker processes.  The
+    worker count never appears in the output — same seed, same flags
+    ⇒ byte-identical stdout and ``--trace-out`` JSONL for ANY N (the
+    CI shard job diffs N ∈ {1, 2, 4}).
     """
     from repro.experiments.chaos import (
         CHAOSABLE,
@@ -213,6 +225,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 2
     _apply_scheduler(args)
+    if args.shards is not None:
+        from repro.experiments.sharded_chaos import (
+            ShardedChaosConfig,
+            render_sharded_chaos,
+            run_sharded_chaos,
+            write_trace_jsonl,
+        )
+
+        try:
+            sharded_config = ShardedChaosConfig(
+                groups=args.groups,
+                hosts=args.hosts,
+                failure_rate=args.failure_rate,
+                requests=args.requests,
+                seed=args.seed,
+            )
+            sharded = run_sharded_chaos(sharded_config, shards=args.shards)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(render_sharded_chaos(sharded))
+        if args.trace_out:
+            write_trace_jsonl(sharded, args.trace_out)
+            print(f"wrote {args.trace_out}", file=sys.stderr)
+        return 0 if sharded.ok else 1
+    if args.trace_out:
+        print("--trace-out requires --shards", file=sys.stderr)
+        return 2
     try:
         config = ChaosConfig(
             hosts=args.hosts,
@@ -323,6 +363,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded.extend(["--require-speedup", str(args.require_speedup)])
     if args.max_obs_overhead is not None:
         forwarded.extend(["--max-obs-overhead", str(args.max_obs_overhead)])
+    if args.require_shard_speedup is not None:
+        forwarded.extend(
+            ["--require-shard-speedup", str(args.require_shard_speedup)]
+        )
     forwarded.extend(["--tolerance", str(args.tolerance)])
     forwarded.extend(["--seed", str(args.seed)])
     return perf_gate_main(forwarded)
@@ -369,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help=", ".join(sorted(EXPERIMENTS)))
     experiment.add_argument("--fast", action="store_true")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes for sharded experiments (cluster_sharded); "
+        "results are byte-identical for any N",
+    )
     experiment.add_argument(
         "--platform", choices=("firecracker", "xen"), default="firecracker",
         help="hypervisor model (the paper evaluated both)",
@@ -434,6 +483,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--hosts", type=int, default=4)
     chaos.add_argument("--requests", type=int, default=1200)
+    chaos.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the sharded engine over N worker processes "
+        "(DESIGN.md §12); results are byte-identical for any N. "
+        "--hosts then means hosts per failure-domain cell",
+    )
+    chaos.add_argument(
+        "--groups", type=int, default=8, metavar="G",
+        help="failure-domain cells in the sharded model (with --shards; "
+        "a model parameter: changing it changes the simulated system)",
+    )
+    chaos.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write the merged deterministic trace as JSONL (with --shards)",
+    )
     _add_scheduler_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -483,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--max-obs-overhead", type=float, default=None, metavar="F",
         help="fail if obs-enabled chaos is more than F slower than obs-off",
+    )
+    bench.add_argument(
+        "--require-shard-speedup", type=float, default=None, metavar="X",
+        help="fail unless the 4-worker sharded study is >= X times the "
+        "serial events/sec (skipped when the machine has too few cores)",
     )
     _add_scheduler_flag(bench)
     bench.set_defaults(func=_cmd_bench)

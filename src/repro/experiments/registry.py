@@ -46,6 +46,11 @@ class ExperimentConfig:
     fast: bool = True
     seed: int = 0
     platform: str = "firecracker"
+    #: worker-process count for experiments with a sharded runner
+    #: (DESIGN.md §12).  Purely an execution knob: results are
+    #: byte-identical for any value; runners without a sharded path
+    #: ignore it.
+    shards: int = 1
 
     @property
     def repetitions(self) -> int:
@@ -360,6 +365,26 @@ def _chaos_rows(result: Any) -> List[Dict[str, Any]]:
     ]
 
 
+def _run_cluster_sharded(config: ExperimentConfig) -> Any:
+    from repro.experiments.sharded_chaos import (
+        ShardedChaosConfig,
+        run_sharded_chaos,
+    )
+
+    sharded_config = (
+        ShardedChaosConfig(groups=4, hosts=2, requests=240, seed=config.seed)
+        if config.fast
+        else ShardedChaosConfig(seed=config.seed)
+    )
+    return run_sharded_chaos(sharded_config, shards=config.shards)
+
+
+def _render_cluster_sharded(result: Any) -> str:
+    from repro.experiments.sharded_chaos import render_sharded_chaos
+
+    return render_sharded_chaos(result)
+
+
 def _run_cluster_study(config: ExperimentConfig) -> Any:
     from repro.experiments.cluster_study import run_cluster_study
 
@@ -621,6 +646,16 @@ register(
         fast_estimate_s=6.0,
         runner=_run_chaos,
         renderer=_render_chaos,
+        rows_fn=_chaos_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="cluster_sharded",
+        title="Sharded — chaos study partitioned over worker processes",
+        fast_estimate_s=2.0,
+        runner=_run_cluster_sharded,
+        renderer=_render_cluster_sharded,
         rows_fn=_chaos_rows,
     )
 )

@@ -25,6 +25,14 @@ gates CI on regressions against a committed baseline:
   registry attached, so the ``obs.enabled`` guards take the
   instrumented branch.  Its ratio against ``chaos_e2e`` is the
   observability overhead ``--max-obs-overhead`` gates.
+* ``cluster_sharded`` / ``cluster_sharded_serial`` — the sharded chaos
+  study (DESIGN.md §12) at 4 worker processes vs 1.  Identical model,
+  identical results (that is the shard-invariance contract); only the
+  worker layout differs, so their events/sec ratio is the parallel
+  scaling ``--require-shard-speedup`` gates.  The rows carry extra
+  ``shards`` and ``cores`` fields; the gate skips itself (loudly) on
+  machines with fewer cores than workers, where real scaling is
+  physically unmeasurable.
 
 Output rows follow the ``BENCH_sim_kernel.json`` schema::
 
@@ -311,6 +319,80 @@ def bench_chaos_e2e_obs_on(quick: bool, seed: int) -> Dict[str, object]:
     return dict(_chaos_pair(quick, seed)["on"])
 
 
+def _available_cores() -> int:
+    """CPU cores this process may use (affinity-aware where possible)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+#: Worker count for the parallel side of the sharded pair — matches the
+#: CI runner's core count; the speedup gate skips below this.
+_SHARD_WORKERS = 4
+
+
+def _sharded_pair(quick: bool, seed: int) -> Dict[str, Dict[str, object]]:
+    """Interleaved serial/parallel sharded-study wall clock.
+
+    Both sides run the identical model (one mode, 8 cells) — the
+    shard-invariance contract guarantees identical results — so the
+    events/sec ratio isolates the worker-process scaling.  Rounds are
+    interleaved like the other ratio pairs: a contention burst lands on
+    both sides of the ratio or neither.
+    """
+    key = ("sharded", quick, seed)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.experiments.sharded_chaos import (
+        ShardedChaosConfig,
+        run_sharded_chaos,
+    )
+
+    config = ShardedChaosConfig(
+        groups=8, hosts=2, requests=2400 if quick else 6000, seed=seed
+    )
+    rounds = 2 if quick else 3
+    best = {"serial": float("inf"), "parallel": float("inf")}
+    events = 0
+    for _ in range(rounds):
+        for side, shards in (("serial", 1), ("parallel", _SHARD_WORKERS)):
+            start = time.perf_counter()
+            result = run_sharded_chaos(
+                config, shards=shards, modes=("breaker",)
+            )
+            best[side] = min(best[side], time.perf_counter() - start)
+            events = result.events_executed
+    cores = _available_cores()
+    pair = {
+        side: {
+            "events_per_sec": events / wall,
+            "wall_s": wall,
+            "shards": 1 if side == "serial" else _SHARD_WORKERS,
+            "cores": cores,
+        }
+        for side, wall in best.items()
+    }
+    _PAIR_CACHE[key] = pair
+    return pair
+
+
+def bench_cluster_sharded(quick: bool, seed: int) -> Dict[str, object]:
+    """The sharded chaos study on 4 worker processes.
+
+    Its ratio against ``cluster_sharded_serial`` is what
+    ``--require-shard-speedup`` gates; see :func:`_sharded_pair`.
+    """
+    return dict(_sharded_pair(quick, seed)["parallel"])
+
+
+def bench_cluster_sharded_serial(quick: bool, seed: int) -> Dict[str, object]:
+    return dict(_sharded_pair(quick, seed)["serial"])
+
+
 def bench_cluster_study_e2e(quick: bool, seed: int) -> Dict[str, object]:
     from repro.experiments.cluster_study import run_cluster_study
 
@@ -338,6 +420,8 @@ BENCHES: Dict[str, Callable[[bool, int], Dict[str, object]]] = {
     "chaos_e2e": bench_chaos_e2e,
     "chaos_e2e_obs_on": bench_chaos_e2e_obs_on,
     "cluster_study_e2e": bench_cluster_study_e2e,
+    "cluster_sharded_serial": bench_cluster_sharded_serial,
+    "cluster_sharded": bench_cluster_sharded,
 }
 
 
@@ -360,20 +444,24 @@ def run_benches(
     for name in names:
         log(f"running {name} ...")
         measured = BENCHES[name](quick, seed)
-        rows.append(
-            {
-                "bench": name,
-                "events_per_sec": round(float(measured["events_per_sec"]), 1),
-                "wall_s": round(float(measured["wall_s"]), 4),
-                "seed": seed,
-                "py": _PY,
-                # Benches that never touch the engine report "none";
-                # the engine benches pin their own kind; everything
-                # else runs on the process default.
-                "scheduler": measured.get("scheduler", default_scheduler()),
-                "obs": measured.get("obs", "off"),
-            }
-        )
+        row: Dict[str, object] = {
+            "bench": name,
+            "events_per_sec": round(float(measured["events_per_sec"]), 1),
+            "wall_s": round(float(measured["wall_s"]), 4),
+            "seed": seed,
+            "py": _PY,
+            # Benches that never touch the engine report "none";
+            # the engine benches pin their own kind; everything
+            # else runs on the process default.
+            "scheduler": measured.get("scheduler", default_scheduler()),
+            "obs": measured.get("obs", "off"),
+        }
+        # The sharded pair additionally records its worker layout and
+        # the machine's core budget (the speedup gate is core-aware).
+        for extra in ("shards", "cores"):
+            if extra in measured:
+                row[extra] = measured[extra]
+        rows.append(row)
         log(
             f"  {name}: {rows[-1]['events_per_sec']:,.0f} events/s "
             f"({rows[-1]['wall_s']:.3f} s)"
@@ -390,14 +478,18 @@ def check_against_baseline(
     tolerance: float = 0.15,
     require_speedup: Optional[float] = None,
     max_obs_overhead: Optional[float] = None,
+    require_shard_speedup: Optional[float] = None,
     log: Callable[[str], None] = print,
 ) -> bool:
     """True when no bench regressed beyond *tolerance*.
 
     Scores are normalized by the calibration ratio between the two
-    machines before comparison; the optional calendar/heap speedup and
-    obs-overhead gates are pure same-machine ratios and need no
-    normalization.
+    machines before comparison; the optional calendar/heap speedup,
+    obs-overhead, and shard-speedup gates are pure same-machine ratios
+    and need no normalization.  The shard-speedup gate skips (with a
+    log line, never a failure) when the machine has fewer cores than
+    the parallel side's workers — on such machines the ratio measures
+    the core budget, not the code.
     """
     current = {str(row["bench"]): row for row in rows}
     baseline = {str(row["bench"]): row for row in baseline_rows}
@@ -453,6 +545,33 @@ def check_against_baseline(
                 f"obs-enabled chaos overhead {overhead * 100:.2f}% "
                 f"(budget {max_obs_overhead * 100:.2f}%) {verdict}"
             )
+    if require_shard_speedup is not None:
+        serial = current.get("cluster_sharded_serial")
+        sharded = current.get("cluster_sharded")
+        if serial is None or sharded is None:
+            log("shard-speedup gate skipped: sharded benches not in this run")
+        else:
+            cores = int(sharded.get("cores", _available_cores()))
+            workers = int(sharded.get("shards", _SHARD_WORKERS))
+            if cores < workers:
+                log(
+                    f"shard-speedup gate skipped: {cores} core(s) available, "
+                    f"{workers} workers needed to measure scaling"
+                )
+            else:
+                ratio = float(sharded["events_per_sec"]) / float(
+                    serial["events_per_sec"]
+                )
+                verdict = (
+                    "ok" if ratio >= require_shard_speedup else "BELOW TARGET"
+                )
+                if ratio < require_shard_speedup:
+                    ok = False
+                log(
+                    f"sharded/serial speedup {ratio:.2f}x at {workers} workers "
+                    f"on {cores} cores (required {require_shard_speedup:.2f}x) "
+                    f"{verdict}"
+                )
     return ok
 
 
@@ -498,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if the obs-enabled chaos run is more than F (fraction, "
         "e.g. 0.05) slower than the obs-off run",
     )
+    parser.add_argument(
+        "--require-shard-speedup", type=float, default=None, metavar="X",
+        help="fail unless cluster_sharded/cluster_sharded_serial events/sec "
+        "is >= X (skipped when the machine has fewer cores than workers)",
+    )
     return parser
 
 
@@ -528,13 +652,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             tolerance=args.tolerance,
             require_speedup=args.require_speedup,
             max_obs_overhead=args.max_obs_overhead,
+            require_shard_speedup=args.require_shard_speedup,
         )
         return 0 if ok else 1
-    if args.require_speedup is not None or args.max_obs_overhead is not None:
+    if (
+        args.require_speedup is not None
+        or args.max_obs_overhead is not None
+        or args.require_shard_speedup is not None
+    ):
         ok = check_against_baseline(
             rows, [], tolerance=args.tolerance,
             require_speedup=args.require_speedup,
             max_obs_overhead=args.max_obs_overhead,
+            require_shard_speedup=args.require_shard_speedup,
         )
         return 0 if ok else 1
     return 0

@@ -106,11 +106,19 @@ class FailureInjector:
     """
 
     def __init__(
-        self, cluster: FaaSCluster, config: FailureConfig, seed: int = 0
+        self,
+        cluster: FaaSCluster,
+        config: FailureConfig,
+        seed: int = 0,
+        domain: int = 0,
     ) -> None:
         self.cluster = cluster
         self.config = config
         self.seed = seed
+        #: failure-domain id — the shard unit in sharded runs.  Purely
+        #: a label (trace records, repr); per-domain independence comes
+        #: from the caller seeding each domain's injector separately.
+        self.domain = domain
         self._rngs = RngRegistry(seed).fork("resilience-failures")
         self.fired: Dict[str, int] = {kind: 0 for kind in FAILURE_KINDS}
         self.on_crash: List[Callable[[int, int], None]] = []
@@ -219,7 +227,10 @@ class FailureInjector:
                 "node.crash", now, category="resilience",
                 host=index, pooled_lost=lost,
             )
-        host.trace.record(now, "failures", "crash", host=index, pooled_lost=lost)
+        host.trace.record(
+            now, "failures", "crash",
+            host=index, pooled_lost=lost, domain=self.domain,
+        )
         for listener in self.on_crash:
             listener(index, now)
 
@@ -233,12 +244,15 @@ class FailureInjector:
             host.obs.tracer.record_instant(
                 "node.recover", now, category="resilience", host=index,
             )
-        host.trace.record(now, "failures", "recover", host=index)
+        host.trace.record(
+            now, "failures", "recover", host=index, domain=self.domain
+        )
         for listener in self.on_recover:
             listener(index, now)
 
     def __repr__(self) -> str:
         return (
             f"FailureInjector(rate={self.config.failure_rate}, "
-            f"flaky={list(self.flaky_hosts)}, fired={self.fired})"
+            f"domain={self.domain}, flaky={list(self.flaky_hosts)}, "
+            f"fired={self.fired})"
         )

@@ -18,6 +18,12 @@ from repro.sim.event import Event, EventPriority
 from repro.sim.process import Join, Process, Sleep, Spawn, Wait, Waitable, spawn
 from repro.sim.resources import SimLock, SimSemaphore
 from repro.sim.rng import RngRegistry
+from repro.sim.sharding import (
+    assign_cells,
+    merge_records,
+    merged_pending,
+    windowed_run,
+)
 from repro.sim.tracing import NULL_TRACE, TraceEvent, TraceLog
 from repro.sim.units import (
     MICROSECOND,
@@ -54,6 +60,10 @@ __all__ = [
     "SimLock",
     "SimSemaphore",
     "RngRegistry",
+    "assign_cells",
+    "merge_records",
+    "merged_pending",
+    "windowed_run",
     "NULL_TRACE",
     "TraceEvent",
     "TraceLog",

@@ -350,6 +350,14 @@ class Engine:
         callers (invariant checkers, tests, debuggers) see the exact
         sequence the engine would drain, never raw heap or bucket
         layout.  Mutating the returned list does not affect the engine.
+
+        Sequence numbers are engine-local, so this ordering is only
+        meaningful *within* one engine.  For a merged view across the
+        per-shard engines of a sharded run, use
+        :func:`repro.sim.sharding.merged_pending`, which pins the
+        cross-shard tie-break at equal ``(time, priority)`` to the
+        shard id (then the per-shard sequence) — comparing raw
+        sequences across engines would be arbitrary.
         """
         return sorted(
             (event for event in self._sched.iter_pending() if not event.cancelled),

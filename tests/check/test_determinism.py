@@ -37,6 +37,28 @@ def run_traced_figure3(out_dir: Path) -> Path:
     return out_dir / "figure3.trace.jsonl"
 
 
+def run_sharded_chaos_cli(out_path: Path, shards: int, seed: int) -> bytes:
+    """One subprocess run of the sharded chaos study; returns stdout."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "chaos", "cluster",
+            "--shards", str(shards), "--groups", "4", "--hosts", "2",
+            "--requests", "80", "--seed", str(seed),
+            "--trace-out", str(out_path),
+        ],
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+    )
+    return completed.stdout
+
+
 class TestTraceDeterminism:
     def test_two_runs_same_seed_byte_identical_jsonl(self, tmp_path):
         first = run_traced_figure3(tmp_path / "run1")
@@ -53,3 +75,33 @@ class TestTraceDeterminism:
             tmp_path / "run2" / "figure3.trace.json",
             shallow=False,
         )
+
+
+class TestShardedTraceDeterminism:
+    def test_two_sharded_runs_same_seed_byte_identical(self, tmp_path):
+        """Two subprocess runs of ``repro chaos cluster --shards 4``:
+        byte-identical stdout and JSONL trace.  Subprocesses, not
+        in-process reruns, because the sandbox/vCPU id counters are
+        process-global *and* each run forks its own worker pool — this
+        is the path CI's shard job exercises."""
+        first_trace = tmp_path / "first.jsonl"
+        second_trace = tmp_path / "second.jsonl"
+        first_out = run_sharded_chaos_cli(first_trace, shards=4, seed=7)
+        second_out = run_sharded_chaos_cli(second_trace, shards=4, seed=7)
+        assert first_out == second_out
+        assert first_trace.stat().st_size > 0
+        assert filecmp.cmp(first_trace, second_trace, shallow=False), (
+            "same seed, same shard count produced different merged "
+            "traces — the sharded path lost determinism"
+        )
+
+    def test_worker_count_never_reaches_the_artifacts(self, tmp_path):
+        """shards=4 vs shards=1 from separate processes: the invariance
+        contract at the CLI boundary (the property suite covers the
+        in-process layers)."""
+        parallel_trace = tmp_path / "parallel.jsonl"
+        serial_trace = tmp_path / "serial.jsonl"
+        parallel_out = run_sharded_chaos_cli(parallel_trace, shards=4, seed=3)
+        serial_out = run_sharded_chaos_cli(serial_trace, shards=1, seed=3)
+        assert parallel_out == serial_out
+        assert filecmp.cmp(parallel_trace, serial_trace, shallow=False)

@@ -60,6 +60,8 @@ class TestRunBenches:
             "chaos_e2e",
             "chaos_e2e_obs_on",
             "cluster_study_e2e",
+            "cluster_sharded_serial",
+            "cluster_sharded",
         }
 
 
@@ -119,17 +121,57 @@ class TestCheckAgainstBaseline:
             rows, [], max_obs_overhead=0.0, log=lambda _: None
         )
 
+    @staticmethod
+    def _sharded_rows(parallel_eps, cores):
+        serial = _row("cluster_sharded_serial", 100.0)
+        serial.update({"shards": 1, "cores": cores})
+        parallel = _row("cluster_sharded", parallel_eps)
+        parallel.update({"shards": 4, "cores": cores})
+        return [serial, parallel]
+
+    def test_shard_speedup_gate_passes_and_fails_on_ratio(self):
+        assert check_against_baseline(
+            self._sharded_rows(250.0, cores=4), [],
+            require_shard_speedup=2.0, log=lambda _: None,
+        )
+        assert not check_against_baseline(
+            self._sharded_rows(150.0, cores=4), [],
+            require_shard_speedup=2.0, log=lambda _: None,
+        )
+
+    def test_shard_speedup_gate_skipped_below_core_budget(self):
+        # 1 core, 4 workers: scaling is physically unmeasurable, so even
+        # a sub-1x ratio must not fail the gate.
+        lines = []
+        assert check_against_baseline(
+            self._sharded_rows(60.0, cores=1), [],
+            require_shard_speedup=2.0, log=lines.append,
+        )
+        assert any("skipped" in line for line in lines)
+
+    def test_shard_speedup_gate_skipped_without_both_benches(self):
+        rows = [_row("cluster_sharded", 100.0)]
+        assert check_against_baseline(
+            rows, [], require_shard_speedup=2.0, log=lambda _: None
+        )
+
 
 class TestCommittedBaseline:
     def test_committed_baseline_has_schema_and_speedup(self):
         with open(BENCH_BASELINE) as handle:
             rows = json.load(handle)
         by_name = {row["bench"]: row for row in rows}
+        base_keys = {
+            "bench", "events_per_sec", "wall_s", "seed", "py",
+            "scheduler", "obs",
+        }
         for row in rows:
-            assert set(row) == {
-                "bench", "events_per_sec", "wall_s", "seed", "py",
-                "scheduler", "obs",
-            }
+            if row["bench"].startswith("cluster_sharded"):
+                # The sharded pair records its worker layout and the
+                # measuring machine's core budget (gate is core-aware).
+                assert set(row) == base_keys | {"shards", "cores"}
+            else:
+                assert set(row) == base_keys
         ratio = (
             by_name["engine_calendar_chaos"]["events_per_sec"]
             / by_name["engine_heap_chaos"]["events_per_sec"]
@@ -154,6 +196,7 @@ class TestCli:
         assert args.tolerance == 0.15
         assert args.require_speedup is None
         assert args.max_obs_overhead is None
+        assert args.require_shard_speedup is None
 
     def test_main_runs_subset_and_writes(self, tmp_path, capsys):
         out = tmp_path / "rows.json"

@@ -1,0 +1,267 @@
+"""Calendar-queue grow/shrink rebuilds under adversarial distributions.
+
+The calendar scheduler's amortized-O(1) claim rests on its resize
+policy: grow when occupancy passes two events per bucket, shrink when
+it drops below a quarter, re-deriving the bucket width from the spacing
+of events near the head (Brown's heuristic).  These tests drive the
+resize machinery with the distributions that historically break
+calendar queues — everything at one instant (degenerate width sample),
+a handful of events separated by enormous dead time (sparse-calendar
+jump), and grow-then-shrink churn — and pin that every rebuild
+preserves the exact ``(time, priority, sequence)`` drain order the
+differential suite guarantees against the heap.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.event import Event, EventPriority
+from repro.sim.schedulers import (
+    _MIN_BUCKETS,
+    CalendarScheduler,
+    HeapScheduler,
+)
+
+
+def _events(times, priority=int(EventPriority.NORMAL)):
+    return [
+        Event(time, priority, sequence, callback=None)
+        for sequence, time in enumerate(times)
+    ]
+
+
+def _drain_all(scheduler):
+    out = []
+    while True:
+        event = scheduler.pop_due(None)
+        if event is None:
+            return out
+        out.append((event.time, event.priority, event.sequence))
+
+
+def _reference_order(events):
+    heap = HeapScheduler()
+    for event in events:
+        heap.push(event)
+    # Heap events are the same objects; drain a fresh copy for the key
+    # tuple stream only.
+    return [
+        (event.time, event.priority, event.sequence)
+        for event in sorted(events)
+    ]
+
+
+class TestGrowRebuild:
+    def test_bucket_count_grows_past_two_per_bucket(self):
+        scheduler = CalendarScheduler()
+        assert scheduler._mask + 1 == _MIN_BUCKETS
+        for event in _events(range(0, 40_000, 1_000)):  # 40 > 2 * 16
+            scheduler.push(event)
+        assert scheduler._mask + 1 > _MIN_BUCKETS
+        assert scheduler._epoch >= 1
+
+    def test_grow_preserves_drain_order(self):
+        times = [t * 977 for t in range(200)]  # forces several doublings
+        events = _events(times)
+        scheduler = CalendarScheduler()
+        for event in events:
+            scheduler.push(event)
+        assert _drain_all(scheduler) == _reference_order(events)
+
+    def test_all_events_at_one_instant_grow_without_width_collapse(self):
+        """Degenerate width sample: every gap is zero, so the heuristic
+        must fall back to the current width instead of dividing by zero
+        or shrinking the width to nothing."""
+        events = _events([7_777] * 300)
+        scheduler = CalendarScheduler()
+        for event in events:
+            scheduler.push(event)
+        assert scheduler._width >= 1
+        assert scheduler._epoch >= 1  # it did grow (300 > 2 * 16)
+        drained = _drain_all(scheduler)
+        assert drained == _reference_order(events)
+        # FIFO among equal (time, priority): sequence strictly ascends.
+        assert [entry[2] for entry in drained] == sorted(
+            entry[2] for entry in drained
+        )
+
+
+class TestShrinkRebuild:
+    def _grown(self, count=600, spacing=1_000):
+        events = _events(range(0, count * spacing, spacing))
+        scheduler = CalendarScheduler()
+        for event in events:
+            scheduler.push(event)
+        return scheduler, events
+
+    def test_bucket_count_shrinks_as_the_queue_drains(self):
+        scheduler, events = self._grown()
+        grown = scheduler._mask + 1
+        assert grown > _MIN_BUCKETS
+        order = _drain_all(scheduler)
+        assert order == _reference_order(events)
+        # Fully drained: the shrink path must have walked the count back
+        # down (it can never go below the floor).
+        assert _MIN_BUCKETS <= scheduler._mask + 1 < grown
+
+    def test_shrink_never_goes_below_minimum(self):
+        scheduler, _events_list = self._grown(count=100)
+        _drain_all(scheduler)
+        assert scheduler._mask + 1 >= _MIN_BUCKETS
+
+    def test_interleaved_grow_shrink_churn_keeps_total_order(self):
+        """Push bursts and drain bursts alternating across the resize
+        thresholds — the adversarial schedule for rebuild bookkeeping
+        (cursor/horizon must survive every epoch bump)."""
+        rng = random.Random(42)
+        scheduler = CalendarScheduler()
+        live = []
+        sequence = 0
+        drained = []
+        epochs = set()
+        for _burst in range(20):
+            for _ in range(rng.randrange(10, 120)):
+                time = rng.choice(
+                    [rng.randrange(100), rng.randrange(10**9), 5_000_000]
+                )
+                event = Event(time, int(EventPriority.NORMAL), sequence, None)
+                sequence += 1
+                scheduler.push(event)
+                live.append(event)
+            epochs.add(scheduler._epoch)
+            for _ in range(rng.randrange(5, 100)):
+                event = scheduler.pop_due(None)
+                if event is None:
+                    break
+                drained.append(event)
+            epochs.add(scheduler._epoch)
+        drained.extend(_drain_all_events(scheduler))
+        assert len(epochs) > 1  # the churn actually crossed rebuilds
+        assert sorted(e.sequence for e in drained) == list(range(sequence))
+        # Each pop returned the global minimum at the time of the pop:
+        # replaying pushes/pops against a heap is the real differential
+        # test (tests/sim/test_schedulers.py); here we pin the cheap
+        # necessary condition that survives interleaving — every drained
+        # prefix is <= everything still pending when it popped.
+        assert _is_pop_order_consistent(drained, live)
+
+
+def _drain_all_events(scheduler):
+    out = []
+    while True:
+        event = scheduler.pop_due(None)
+        if event is None:
+            return out
+        out.append(event)
+
+
+def _is_pop_order_consistent(drained, live):
+    """Weaker-but-interleaving-safe order check: among events pushed
+    before it (lower sequence), nothing strictly earlier may pop later."""
+    popped_at = {event.sequence: index for index, event in enumerate(drained)}
+    for index, event in enumerate(drained):
+        for other in drained[index + 1 :]:
+            if other.sequence < event.sequence and other < event:
+                return False
+    return len(popped_at) == len(drained)
+
+
+class TestSparseCalendar:
+    def test_far_apart_clusters_use_the_direct_jump(self):
+        """Two dense clusters separated by ~a simulated day: advancing
+        bucket-by-bucket would be O(dead time / width); the sparse-scan
+        fallback must jump directly."""
+        cluster_a = list(range(0, 1_000, 10))
+        cluster_b = list(range(86_400_000_000_000, 86_400_000_001_000, 10))
+        events = _events(cluster_a + cluster_b)
+        scheduler = CalendarScheduler()
+        for event in events:
+            scheduler.push(event)
+        assert _drain_all(scheduler) == _reference_order(events)
+
+    def test_single_distant_event_after_rebuild(self):
+        scheduler = CalendarScheduler()
+        for event in _events(range(0, 50_000, 100)):  # force a grow
+            scheduler.push(event)
+        _drain_all(scheduler)
+        lonely = Event(10**15, int(EventPriority.NORMAL), 10_000, None)
+        scheduler.push(lonely)
+        assert scheduler.peek() is lonely
+        assert scheduler.pop_due(None) is lonely
+        assert scheduler.pop_due(None) is None
+
+
+class TestRebuildBookkeeping:
+    def test_rebuild_preserves_size_and_pending_set(self):
+        events = _events([3, 3, 3, 50_000, 1_000_000_007, 12])
+        scheduler = CalendarScheduler()
+        for event in events:
+            scheduler.push(event)
+        before = {id(event) for event in scheduler.iter_pending()}
+        scheduler._rebuild(64, 500)
+        assert len(scheduler) == len(events)
+        assert {id(event) for event in scheduler.iter_pending()} == before
+        assert _drain_all(scheduler) == _reference_order(events)
+
+    def test_rebuild_bumps_epoch_and_repoints_cursor(self):
+        events = _events([40_960, 40_961])
+        scheduler = CalendarScheduler()
+        for event in events:
+            scheduler.push(event)
+        epoch = scheduler._epoch
+        scheduler._rebuild(32, 100)
+        assert scheduler._epoch == epoch + 1
+        # The window must cover the earliest pending event.
+        assert scheduler._horizon > 40_960
+        assert scheduler.pop_due(None).time == 40_960
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            CalendarScheduler(width=0)
+        with pytest.raises(ValueError, match="power of two"):
+            CalendarScheduler(buckets=24)
+
+
+class TestResizeProperties:
+    @given(
+        times=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=10**12),
+                st.just(123_456_789),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        priorities=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_drain_order_matches_heap_across_resizes(self, times, priorities):
+        """Differential: whatever rebuilds the pushes trigger, the
+        calendar's total drain order equals the heap's."""
+        choices = [int(p) for p in EventPriority]
+        events = [
+            Event(
+                time,
+                priorities.draw(st.sampled_from(choices)),
+                sequence,
+                None,
+            )
+            for sequence, time in enumerate(times)
+        ]
+        calendar = CalendarScheduler()
+        heap = HeapScheduler()
+        for event in events:
+            calendar.push(event)
+            heap.push(event)
+        calendar_order = _drain_all(calendar)
+        heap_order = []
+        while True:
+            event = heap.pop_due(None)
+            if event is None:
+                break
+            heap_order.append((event.time, event.priority, event.sequence))
+        assert calendar_order == heap_order
