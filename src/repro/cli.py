@@ -268,6 +268,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Stream an Azure-scale synthetic trace through a prewarm policy.
+
+    The replayer is bounded-memory (DESIGN.md §13): it heap-merges lazy
+    per-function arrival generators holding at most one pending event
+    per function, so ``--functions 50000 --hours 1`` runs in a flat
+    memory footprint.  Output is deterministic: same seed and flags ⇒
+    byte-identical stdout for ANY ``--shards`` (the CI replay job diffs
+    same-seed runs and worker counts).
+    """
+    from repro.faas.prewarm import PrewarmConfig, render_replay, run_replay
+    from repro.traces.replay import ReplayConfig
+
+    try:
+        config = PrewarmConfig(
+            replay=ReplayConfig(
+                functions=args.functions,
+                duration_s=args.hours * 3600.0,
+                seed=args.seed,
+            ),
+            policy=args.policy,
+            memory_budget_mb=args.memory_budget,
+            sandbox_mb=args.sandbox_mb,
+            groups=args.groups,
+            warmup_s=args.warmup_s,
+        )
+        result = run_replay(config, shards=args.shards)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_replay(result))
+    return 0 if not result.violations() else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Profile one experiment with the deterministic subsystem profiler.
 
@@ -500,6 +534,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scheduler_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="stream an Azure-scale synthetic trace through a sandbox "
+        "prewarm policy over a host memory budget (bounded memory)",
+    )
+    replay.add_argument(
+        "--functions", type=int, default=1000, metavar="N",
+        help="distinct functions in the trace population (default 1000)",
+    )
+    replay.add_argument(
+        "--hours", type=float, default=1.0,
+        help="simulated duration in hours (default 1.0)",
+    )
+    replay.add_argument(
+        "--policy", type=str, default="hybrid", metavar="P",
+        help="sandbox lifecycle policy: none | fixed-<seconds> | hybrid "
+        "| hybrid-<bin_seconds> (default hybrid)",
+    )
+    replay.add_argument(
+        "--memory-budget", type=float, default=4096.0, metavar="MB",
+        help="host memory budget for resident sandboxes (default 4096)",
+    )
+    replay.add_argument(
+        "--sandbox-mb", type=float, default=128.0, metavar="MB",
+        help="resident footprint of one sandbox (default 128)",
+    )
+    replay.add_argument(
+        "--groups", type=int, default=1, metavar="G",
+        help="capacity cells the budget splits into (a model parameter)",
+    )
+    replay.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes for the cells; byte-identical for any N",
+    )
+    replay.add_argument(
+        "--warmup-s", type=float, default=0.0, metavar="S",
+        help="exclude arrivals before S seconds from the latency "
+        "histogram (steady-state measurement)",
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.set_defaults(func=_cmd_replay)
 
     profile = subparsers.add_parser(
         "profile",

@@ -564,6 +564,26 @@ def _ablations_rows(results: Dict[str, Any]) -> List[Dict[str, Any]]:
     return rows
 
 
+def _run_prewarm_frontier(config: ExperimentConfig) -> Any:
+    from repro.experiments.prewarm_frontier import run_prewarm_frontier
+
+    return run_prewarm_frontier(
+        fast=config.fast, seed=config.seed, shards=config.shards
+    )
+
+
+def _render_prewarm_frontier(result: Any) -> str:
+    from repro.experiments.prewarm_frontier import render_prewarm_frontier
+
+    return render_prewarm_frontier(result)
+
+
+def _prewarm_frontier_rows(result: Any) -> List[Dict[str, Any]]:
+    from repro.experiments.prewarm_frontier import prewarm_frontier_rows
+
+    return prewarm_frontier_rows(result)
+
+
 # ----------------------------------------------------------------------
 # The registry itself.  Titles for the original CLI ids are kept
 # byte-identical to the pre-registry table so existing output and tests
@@ -677,6 +697,16 @@ register(
         runner=_run_pool_study,
         renderer=_render_pool_study,
         rows_fn=_pool_study_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="prewarm_frontier",
+        title="Frontier — memory budget vs p99 under prewarm policies",
+        fast_estimate_s=8.0,
+        runner=_run_prewarm_frontier,
+        renderer=_render_prewarm_frontier,
+        rows_fn=_prewarm_frontier_rows,
     )
 )
 register(

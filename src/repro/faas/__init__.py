@@ -17,6 +17,19 @@ from repro.faas.invocation import Invocation, StartType
 from repro.faas.keepalive import FixedKeepAlive, HistogramKeepAlive, KeepAlivePolicy
 from repro.faas.platform import FaaSPlatform
 from repro.faas.pool import SandboxPool
+from repro.faas.prewarm import (
+    FixedWindow,
+    HybridHistogram,
+    IdleHistogram,
+    NoKeepAlive,
+    PolicyDecision,
+    PrewarmConfig,
+    PrewarmPolicy,
+    PrewarmResult,
+    make_policy,
+    render_replay,
+    run_replay,
+)
 from repro.faas.startup import (
     ColdStart,
     HorseStart,
@@ -66,6 +79,17 @@ __all__ = [
     "KeepAlivePolicy",
     "FaaSPlatform",
     "SandboxPool",
+    "FixedWindow",
+    "HybridHistogram",
+    "IdleHistogram",
+    "NoKeepAlive",
+    "PolicyDecision",
+    "PrewarmConfig",
+    "PrewarmPolicy",
+    "PrewarmResult",
+    "make_policy",
+    "render_replay",
+    "run_replay",
     "ColdStart",
     "HorseStart",
     "PoolMissError",

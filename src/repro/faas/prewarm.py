@@ -1,0 +1,797 @@
+"""Sandbox-lifecycle policies over a memory-capacity model.
+
+The streaming replayer (:mod:`repro.traces.replay`) makes a question
+meaningful that the small-trace pool studies couldn't ask: **given a
+host memory budget, which sandboxes should stay resident?**  This
+module answers it with pluggable policies over a snapshot-tiering
+capacity model:
+
+* a **resident** (HORSE-paused) sandbox resumes in ~132 ns — the
+  paper's pausable fast path (:class:`repro.hypervisor.costs.CostModel`
+  ``fast_fixed + p2sm_merge(1) + coalesced_update``);
+* an evicted-but-snapshotted sandbox restores in ~1300 µs (FaaSnap-style,
+  "How Low Can You Go");
+* a never-seen function pays the full ~1.5 s cold boot (first touch
+  captures the snapshot).
+
+Policies decide, after each invocation, *when to unload* and *when to
+pre-load* the sandbox:
+
+* :class:`NoKeepAlive` — unload immediately; every re-arrival restores.
+* :class:`FixedWindow` — classic fixed keep-alive (the OpenWhisk 10-min
+  idiom, window configurable).
+* :class:`HybridHistogram` — the Serverless-in-the-Wild (ATC'20)
+  policy: a per-function idle-time histogram picks a prewarm window
+  (head percentile, sandbox unloaded meanwhile) and a keep-alive (tail
+  percentile), with out-of-bounds fallback to a fixed default and a
+  pattern-change reset after consecutive cold misses.  Timer-triggered
+  functions (~29 % of Azure's population) are its killer app: an
+  hour-period function stays resident ~5 % of the time yet still hits
+  the HORSE tier on every tick.
+
+Memory pressure: resident sandboxes occupy an LRU; loads beyond the
+budget evict the least-recently-used *idle* sandbox.  A sandbox with an
+invocation in flight is **never** evicted (asserted by tests and a
+recorded-violation guard); arrival-driven loads may overcommit the
+budget rather than fail, speculative prewarm loads fail instead.
+
+Determinism: cells partition functions by ``index % groups`` (a model
+parameter); workers (``shards``) only distribute cells, so same seed ⇒
+byte-identical output for any worker count — PR 7's contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hypervisor.costs import CostModel, cost_model_for
+from repro.sim.units import SECOND, to_microseconds
+from repro.traces.replay import ReplayConfig, ReplayStats, merged_stream
+
+__all__ = [
+    "IdleHistogram",
+    "PolicyDecision",
+    "PrewarmPolicy",
+    "NoKeepAlive",
+    "FixedWindow",
+    "HybridHistogram",
+    "make_policy",
+    "PrewarmConfig",
+    "CellStats",
+    "PrewarmResult",
+    "run_cell",
+    "run_replay",
+    "render_replay",
+    "counter_percentile_ns",
+]
+
+
+# ---------------------------------------------------------------------------
+# Idle-time histogram (Serverless in the Wild, §3.3)
+# ---------------------------------------------------------------------------
+
+
+class IdleHistogram:
+    """Fixed-width idle-gap histogram with an out-of-bounds bucket.
+
+    ATC'20 uses 1-minute bins over a 4-hour range; we default to 1-minute
+    bins over 2 hours (120 bins), enough for this replayer's period range
+    and cheap to scan per decision.
+    """
+
+    __slots__ = ("bin_width_ns", "counts", "oob", "total")
+
+    def __init__(self, bin_width_ns: int = 60 * SECOND, bins: int = 120) -> None:
+        if bin_width_ns <= 0:
+            raise ValueError(f"bin width must be positive, got {bin_width_ns}")
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.bin_width_ns = bin_width_ns
+        self.counts = [0] * bins
+        self.oob = 0
+        self.total = 0
+
+    def observe(self, gap_ns: int) -> None:
+        if gap_ns < 0:
+            raise ValueError(f"negative idle gap {gap_ns}")
+        index = gap_ns // self.bin_width_ns
+        if index >= len(self.counts):
+            self.oob += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+
+    def oob_fraction(self) -> float:
+        return self.oob / self.total if self.total else 0.0
+
+    def percentile_bin(self, pct: float) -> Optional[int]:
+        """Nearest-rank bin index; ``None`` when the rank falls OOB."""
+        if self.total == 0:
+            return None
+        rank = max(1, math.ceil(pct / 100.0 * self.total))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            if count:
+                seen += count
+                if seen >= rank:
+                    return index
+        return None
+
+    def lower_edge_ns(self, bin_index: int) -> int:
+        return bin_index * self.bin_width_ns
+
+    def upper_edge_ns(self, bin_index: int) -> int:
+        return (bin_index + 1) * self.bin_width_ns
+
+    def reset(self) -> None:
+        """Forget everything (the pattern-change escape hatch)."""
+        for index in range(len(self.counts)):
+            self.counts[index] = 0
+        self.oob = 0
+        self.total = 0
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What to do with a sandbox after an invocation completes.
+
+    ``prewarm_ns is None`` — stay resident; unload ``keep_alive_ns``
+    after the invocation ends (0 = unload immediately).
+
+    ``prewarm_ns = P`` — unload at completion, re-load the sandbox
+    ``P`` ns later (speculatively, off the critical path), then unload
+    again ``keep_alive_ns`` after that load if nothing arrived.
+    """
+
+    prewarm_ns: Optional[int]
+    keep_alive_ns: int
+
+
+class PrewarmPolicy:
+    """Per-function lifecycle decisions.  Subclasses own all state."""
+
+    name = "abstract"
+
+    def decision(self, fn: int) -> PolicyDecision:
+        raise NotImplementedError
+
+    def observe_gap(self, fn: int, gap_ns: int) -> None:
+        """An arrival came *gap_ns* after the previous completion."""
+
+    def record_outcome(self, fn: int, warm: bool) -> None:
+        """Was the (non-concurrent) arrival served from a resident sandbox?"""
+
+
+class NoKeepAlive(PrewarmPolicy):
+    """Baseline: tear down at completion; every re-arrival restores."""
+
+    name = "none"
+    _DECISION = PolicyDecision(prewarm_ns=None, keep_alive_ns=0)
+
+    def decision(self, fn: int) -> PolicyDecision:
+        return self._DECISION
+
+
+class FixedWindow(PrewarmPolicy):
+    """Classic fixed keep-alive: resident for *window_ns* after each run."""
+
+    def __init__(self, window_ns: int) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"keep-alive window must be positive, got {window_ns}")
+        self.window_ns = window_ns
+        self.name = f"fixed-{window_ns // SECOND}s"
+        self._decision = PolicyDecision(prewarm_ns=None, keep_alive_ns=window_ns)
+
+    def decision(self, fn: int) -> PolicyDecision:
+        return self._decision
+
+
+class HybridHistogram(PrewarmPolicy):
+    """Serverless-in-the-Wild hybrid policy on per-function histograms.
+
+    With enough in-range observations, the idle-gap histogram yields:
+
+    * prewarm window = ``head_margin x lower_edge(p[head_pct])`` — the
+      sandbox is unloaded for this long after each completion (a head
+      at bin 0 means gaps shorter than one bin exist: stay resident);
+    * keep-alive = ``tail_margin x upper_edge(p[tail_pct]) - prewarm`` —
+      how long the (re)loaded sandbox waits for the next arrival.
+
+    Fallbacks: too few observations or too many out-of-bounds gaps ⇒
+    plain fixed keep-alive at ``default_keep_ns``.  After
+    ``pattern_miss_limit`` consecutive cold misses the function's
+    histogram resets (the ATC'20 pattern-change escape hatch).
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        bin_width_ns: int = 60 * SECOND,
+        bins: int = 120,
+        min_observations: int = 8,
+        head_pct: float = 5.0,
+        tail_pct: float = 99.0,
+        head_margin: float = 0.85,
+        tail_margin: float = 1.15,
+        oob_threshold: float = 0.5,
+        pattern_miss_limit: int = 4,
+        default_keep_ns: int = 600 * SECOND,
+    ) -> None:
+        if not 0 < head_pct <= tail_pct <= 100:
+            raise ValueError(f"need 0 < head <= tail <= 100, got {head_pct}, {tail_pct}")
+        if not 0 < head_margin <= 1:
+            raise ValueError(f"head_margin must be in (0, 1], got {head_margin}")
+        if tail_margin < 1:
+            raise ValueError(f"tail_margin must be >= 1, got {tail_margin}")
+        if min_observations < 1:
+            raise ValueError(f"min_observations must be >= 1, got {min_observations}")
+        if pattern_miss_limit < 1:
+            raise ValueError(f"pattern_miss_limit must be >= 1, got {pattern_miss_limit}")
+        self.bin_width_ns = bin_width_ns
+        self.bins = bins
+        self.min_observations = min_observations
+        self.head_pct = head_pct
+        self.tail_pct = tail_pct
+        self.head_margin = head_margin
+        self.tail_margin = tail_margin
+        self.oob_threshold = oob_threshold
+        self.pattern_miss_limit = pattern_miss_limit
+        self.default_keep_ns = default_keep_ns
+        self._fallback = PolicyDecision(prewarm_ns=None, keep_alive_ns=default_keep_ns)
+        self._histograms: Dict[int, IdleHistogram] = {}
+        self._cached: Dict[int, PolicyDecision] = {}
+        self._misses: Dict[int, int] = {}
+
+    def histogram(self, fn: int) -> IdleHistogram:
+        hist = self._histograms.get(fn)
+        if hist is None:
+            hist = self._histograms[fn] = IdleHistogram(self.bin_width_ns, self.bins)
+        return hist
+
+    def observe_gap(self, fn: int, gap_ns: int) -> None:
+        self.histogram(fn).observe(gap_ns)
+        self._cached.pop(fn, None)
+
+    def record_outcome(self, fn: int, warm: bool) -> None:
+        if warm:
+            self._misses[fn] = 0
+            return
+        misses = self._misses.get(fn, 0) + 1
+        if misses >= self.pattern_miss_limit:
+            # Pattern changed: the histogram predicts the *old* behaviour
+            # (that's why we keep missing) — start over.
+            hist = self._histograms.get(fn)
+            if hist is not None:
+                hist.reset()
+            self._cached.pop(fn, None)
+            misses = 0
+        self._misses[fn] = misses
+
+    def decision(self, fn: int) -> PolicyDecision:
+        cached = self._cached.get(fn)
+        if cached is None:
+            cached = self._cached[fn] = self._compute(fn)
+        return cached
+
+    def _compute(self, fn: int) -> PolicyDecision:
+        hist = self._histograms.get(fn)
+        if hist is None or hist.total < self.min_observations:
+            return self._fallback
+        if hist.oob_fraction() > self.oob_threshold:
+            # The function's gaps mostly exceed the histogram range —
+            # its percentiles say nothing useful.
+            return self._fallback
+        head_bin = hist.percentile_bin(self.head_pct)
+        tail_bin = hist.percentile_bin(self.tail_pct)
+        if head_bin is None or tail_bin is None:
+            # The percentile rank itself lands in the OOB tail.
+            return self._fallback
+        prewarm = round(self.head_margin * hist.lower_edge_ns(head_bin))
+        tail = round(self.tail_margin * hist.upper_edge_ns(tail_bin))
+        if prewarm <= 0:
+            # Head in bin 0: sub-bin gaps exist, keep the sandbox warm.
+            return PolicyDecision(
+                prewarm_ns=None, keep_alive_ns=max(tail, hist.bin_width_ns)
+            )
+        keep = max(tail - prewarm, hist.bin_width_ns)
+        return PolicyDecision(prewarm_ns=prewarm, keep_alive_ns=keep)
+
+
+def make_policy(spec: str) -> PrewarmPolicy:
+    """Build a policy from its CLI spelling.
+
+    ``none`` | ``fixed-<seconds>`` (e.g. ``fixed-600``) | ``hybrid``
+    | ``hybrid-<bin_seconds>`` (histogram resolution override, e.g.
+    ``hybrid-10`` for 10 s bins when replaying short synthetic periods).
+    A factory (not instances) because policies carry per-function state
+    and must be constructed fresh inside each worker process.
+    """
+    if spec == "none":
+        return NoKeepAlive()
+    if spec == "hybrid":
+        return HybridHistogram()
+    if spec.startswith("hybrid-"):
+        try:
+            bin_s = int(spec[len("hybrid-"):])
+        except ValueError:
+            raise ValueError(f"bad hybrid bin-width spec {spec!r}") from None
+        policy = HybridHistogram(bin_width_ns=bin_s * SECOND)
+        policy.name = spec
+        return policy
+    if spec.startswith("fixed-"):
+        try:
+            seconds = int(spec[len("fixed-"):])
+        except ValueError:
+            raise ValueError(f"bad fixed keep-alive spec {spec!r}") from None
+        return FixedWindow(seconds * SECOND)
+    raise ValueError(
+        f"unknown policy {spec!r} "
+        f"(want none | fixed-<seconds> | hybrid | hybrid-<bin_seconds>)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Capacity-model cell simulator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrewarmConfig:
+    """One replay-under-policy run (picklable; workers rebuild policies)."""
+
+    replay: ReplayConfig = field(default_factory=ReplayConfig)
+    policy: str = "hybrid"
+    memory_budget_mb: float = 4096.0
+    sandbox_mb: float = 128.0
+    exec_ns: int = 1_000_000          # 1 ms service time
+    groups: int = 1                   # model parameter: capacity cells
+    platform: str = "firecracker"
+    #: latency histogram starts here (steady state): first-touch cold
+    #: boots and unfilled histograms are setup, not the policy's fault
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_mb <= 0:
+            raise ValueError(
+                f"memory budget must be positive, got {self.memory_budget_mb}"
+            )
+        if self.sandbox_mb <= 0:
+            raise ValueError(f"sandbox_mb must be positive, got {self.sandbox_mb}")
+        if self.exec_ns < 0:
+            raise ValueError(f"exec_ns must be >= 0, got {self.exec_ns}")
+        if self.groups < 1:
+            raise ValueError(f"groups must be >= 1, got {self.groups}")
+        if not 0 <= self.warmup_s < self.replay.duration_s:
+            raise ValueError(
+                f"warmup_s must be in [0, duration), got {self.warmup_s}"
+            )
+        make_policy(self.policy)      # validate the spelling up front
+
+
+class _FnState:
+    """Per-function sandbox state inside one cell."""
+
+    __slots__ = (
+        "resident", "has_snapshot", "busy_until", "last_end",
+        "unload_at", "load_at", "post_load_keep_ns",
+    )
+
+    def __init__(self) -> None:
+        self.resident = False
+        self.has_snapshot = False
+        self.busy_until = -1
+        self.last_end = -1
+        self.unload_at: Optional[int] = None
+        self.load_at: Optional[int] = None
+        self.post_load_keep_ns = 0
+
+
+_LOAD, _UNLOAD = 0, 1
+
+
+@dataclass
+class CellStats:
+    """Everything one cell reports (plain data: crosses the worker pool)."""
+
+    group: int
+    budget_mb: float
+    events: int = 0
+    warmup_events: int = 0            # arrivals before the measurement window
+    concurrent_hits: int = 0          # arrival while already executing
+    horse_hits: int = 0               # resident, paused -> 132 ns resume
+    restores: int = 0                 # snapshot restore, ~1300 us
+    cold_boots: int = 0               # first touch, ~1.5 s
+    prewarm_loads: int = 0
+    prewarm_failed: int = 0
+    expiry_unloads: int = 0
+    pressure_evictions: int = 0
+    overcommit_loads: int = 0
+    peak_resident_mb: float = 0.0
+    peak_lifecycle_heap: int = 0
+    peak_buffered: int = 0            # replayer merge ceiling (<= functions)
+    exhausted_streams: int = 0
+    latency_counts: Dict[int, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+
+class _Cell:
+    """One capacity cell: a function subset under one policy instance."""
+
+    def __init__(self, config: PrewarmConfig, group: int) -> None:
+        self.config = config
+        self.group = group
+        self.policy = make_policy(config.policy)
+        costs: CostModel = cost_model_for(config.platform)
+        self.horse_resume_ns = round(
+            costs.fast_fixed_ns
+            + costs.p2sm_merge_cost_ns(1)
+            + costs.coalesced_update_ns
+        )
+        self.restore_ns = costs.restore_ns
+        self.cold_ns = costs.cold_start_ns
+        self.budget_mb = config.memory_budget_mb / config.groups
+        self.warmup_ns = round(config.warmup_s * SECOND)
+        self.states: Dict[int, _FnState] = {}
+        self.lru: "OrderedDict[int, None]" = OrderedDict()
+        self.lifecycle: List[Tuple[int, int, int]] = []
+        self._compact_at = 1024
+        self.latency: Counter = Counter()
+        self.stats = CellStats(group=group, budget_mb=self.budget_mb)
+
+    # -- memory ----------------------------------------------------------
+
+    def _resident_mb(self) -> float:
+        return len(self.lru) * self.config.sandbox_mb
+
+    def _free_for_load(self, now: int, strict: bool) -> bool:
+        """Make room for one sandbox, evicting idle LRU victims.
+
+        ``strict`` loads (speculative prewarms) fail when nothing is
+        evictable; arrival loads overcommit instead — a request must
+        never be refused memory the simulation can model as borrowed.
+        An in-flight sandbox (``busy_until > now``) is never a victim.
+        """
+        need = self.config.sandbox_mb
+        while self._resident_mb() + need > self.budget_mb:
+            victim = None
+            for fn in self.lru:               # oldest first
+                if self.states[fn].busy_until <= now:
+                    victim = fn
+                    break
+            if victim is None:
+                if strict:
+                    return False
+                self.stats.overcommit_loads += 1
+                return True
+            self._evict(victim)
+        return True
+
+    def _evict(self, fn: int) -> None:
+        state = self.states[fn]
+        if not state.resident:
+            self.stats.violations.append(f"evict non-resident fn {fn}")
+        state.resident = False
+        # A HORSE-paused sandbox's state is snapshot-backed; eviction
+        # demotes it to the restore tier, never back to cold.
+        state.has_snapshot = True
+        state.unload_at = None
+        del self.lru[fn]
+        self.stats.pressure_evictions += 1
+
+    def _track_peaks(self) -> None:
+        mb = self._resident_mb()
+        if mb > self.stats.peak_resident_mb:
+            self.stats.peak_resident_mb = mb
+        if len(self.lifecycle) > self.stats.peak_lifecycle_heap:
+            self.stats.peak_lifecycle_heap = len(self.lifecycle)
+
+    # -- lifecycle timers (lazy-cancel heap + compaction) ----------------
+
+    def _schedule(self, when: int, kind: int, fn: int) -> None:
+        state = self.states[fn]
+        if kind == _UNLOAD:
+            state.unload_at = when
+        else:
+            state.load_at = when
+        heapq.heappush(self.lifecycle, (when, kind, fn))
+        # Lazy cancellation: stale entries are dropped on pop.  Compact
+        # when stale entries dominate so the heap stays O(live timers).
+        # The threshold doubles after each compaction so the O(states)
+        # live-timer count amortizes to O(1) per schedule.
+        if len(self.lifecycle) > self._compact_at:
+            if len(self.lifecycle) > 4 * self._live_timers():
+                self._compact()
+            self._compact_at = max(1024, 2 * len(self.lifecycle))
+
+    def _live_timers(self) -> int:
+        return sum(
+            (state.unload_at is not None) + (state.load_at is not None)
+            for state in self.states.values()
+        )
+
+    def _compact(self) -> None:
+        rebuilt = []
+        for fn, state in self.states.items():
+            if state.unload_at is not None:
+                rebuilt.append((state.unload_at, _UNLOAD, fn))
+            if state.load_at is not None:
+                rebuilt.append((state.load_at, _LOAD, fn))
+        heapq.heapify(rebuilt)
+        self.lifecycle = rebuilt
+
+    def _drain_lifecycle(self, upto: int) -> None:
+        heap = self.lifecycle
+        while heap and heap[0][0] <= upto:
+            when, kind, fn = heapq.heappop(heap)
+            state = self.states[fn]
+            if kind == _UNLOAD:
+                if state.unload_at != when:
+                    continue              # superseded or cancelled
+                state.unload_at = None
+                self._expire(when, fn)
+            else:
+                if state.load_at != when:
+                    continue
+                state.load_at = None
+                self._prewarm_load(when, fn)
+
+    def _expire(self, now: int, fn: int) -> None:
+        state = self.states[fn]
+        if not state.resident:
+            return
+        if state.busy_until > now:
+            # Unloads are always (re)scheduled from the latest completion
+            # time, so an in-flight expiry means the bookkeeping broke.
+            self.stats.violations.append(
+                f"unload while in flight: fn {fn} at {now} busy until {state.busy_until}"
+            )
+            return
+        state.resident = False
+        state.has_snapshot = True
+        del self.lru[fn]
+        self.stats.expiry_unloads += 1
+
+    def _prewarm_load(self, now: int, fn: int) -> None:
+        state = self.states[fn]
+        if state.resident:
+            return                        # an arrival beat the timer
+        if not self._free_for_load(now, strict=True):
+            self.stats.prewarm_failed += 1
+            return
+        state.resident = True
+        self.lru[fn] = None
+        self.stats.prewarm_loads += 1
+        self._schedule(now + state.post_load_keep_ns, _UNLOAD, fn)
+        self._track_peaks()
+
+    # -- arrivals --------------------------------------------------------
+
+    def on_arrival(self, now: int, fn: int) -> None:
+        self._drain_lifecycle(now)
+        state = self.states.get(fn)
+        if state is None:
+            state = self.states[fn] = _FnState()
+        stats = self.stats
+        stats.events += 1
+
+        concurrent = state.busy_until > now
+        if not concurrent and state.last_end >= 0:
+            self.policy.observe_gap(fn, now - state.last_end)
+
+        if concurrent:
+            # Sandbox is executing: the invocation piggybacks, no
+            # init latency (and no idle gap to observe).
+            init_ns = 0
+            stats.concurrent_hits += 1
+        elif state.resident:
+            init_ns = self.horse_resume_ns
+            stats.horse_hits += 1
+            self.policy.record_outcome(fn, warm=True)
+        else:
+            init_ns = self.restore_ns if state.has_snapshot else self.cold_ns
+            if state.has_snapshot:
+                stats.restores += 1
+            else:
+                stats.cold_boots += 1
+            self.policy.record_outcome(fn, warm=False)
+            self._free_for_load(now, strict=False)
+            state.resident = True
+            state.has_snapshot = True     # boot/restore leaves a snapshot
+            self.lru[fn] = None
+        self.lru.move_to_end(fn)
+        if now >= self.warmup_ns:
+            self.latency[init_ns] += 1
+        else:
+            stats.warmup_events += 1
+
+        start = now + init_ns
+        end = max(state.busy_until, start + self.config.exec_ns)
+        state.busy_until = end
+        state.last_end = end
+
+        decision = self.policy.decision(fn)
+        if decision.prewarm_ns is None:
+            state.load_at = None          # cancel any pending prewarm
+            self._schedule(end + decision.keep_alive_ns, _UNLOAD, fn)
+        else:
+            state.post_load_keep_ns = decision.keep_alive_ns
+            self._schedule(end, _UNLOAD, fn)
+            self._schedule(end + decision.prewarm_ns, _LOAD, fn)
+        self._track_peaks()
+
+    def finish(self) -> CellStats:
+        self.stats.latency_counts = dict(self.latency)
+        return self.stats
+
+
+def cell_indices(config: PrewarmConfig, group: int) -> List[int]:
+    """Functions owned by *group*: ``index % groups == group``."""
+    return list(range(group, config.replay.functions, config.groups))
+
+
+def run_cell(config: PrewarmConfig, group: int) -> CellStats:
+    """Run one cell to completion — a pure function of (config, group)."""
+    if not 0 <= group < config.groups:
+        raise ValueError(f"group {group} out of range for {config.groups}")
+    cell = _Cell(config, group)
+    replay_stats = ReplayStats()
+    for when, fn, _seq in merged_stream(
+        config.replay, replay_stats, cell_indices(config, group)
+    ):
+        cell.on_arrival(when, fn)
+    stats = cell.finish()
+    stats.peak_buffered = replay_stats.peak_buffered
+    stats.exhausted_streams = replay_stats.exhausted_streams
+    return stats
+
+
+def _run_cell_batch(payload) -> List[CellStats]:
+    """Worker entry point (module-level: must pickle under spawn)."""
+    config, batch = payload
+    return [run_cell(config, group) for group in batch]
+
+
+@dataclass
+class PrewarmResult:
+    """All cells of one replay-under-policy run, merged in group order."""
+
+    config: PrewarmConfig
+    cells: List[CellStats] = field(default_factory=list)
+
+    @property
+    def events(self) -> int:
+        return sum(cell.events for cell in self.cells)
+
+    def latency_counts(self) -> Dict[int, int]:
+        merged: Counter = Counter()
+        for cell in self.cells:
+            merged.update(cell.latency_counts)
+        return dict(merged)
+
+    def percentile_us(self, pct: float) -> float:
+        return to_microseconds(counter_percentile_ns(self.latency_counts(), pct))
+
+    def total(self, field_name: str) -> int:
+        return sum(getattr(cell, field_name) for cell in self.cells)
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for cell in self.cells:
+            out.extend(cell.violations)
+        return out
+
+
+def counter_percentile_ns(counts: Dict[int, int], pct: float) -> int:
+    """Nearest-rank percentile over a {latency_ns: count} histogram.
+
+    Exact (not interpolated): tier latencies are discrete, and an
+    interpolated value between 132 ns and 1300 µs would name a latency
+    no request ever saw.
+    """
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    total = sum(counts.values())
+    if total == 0:
+        return 0
+    rank = max(1, math.ceil(pct / 100.0 * total))
+    seen = 0
+    for value in sorted(counts):
+        seen += counts[value]
+        if seen >= rank:
+            return value
+    raise AssertionError("unreachable: rank exceeds total")
+
+
+def run_replay(
+    config: Optional[PrewarmConfig] = None,
+    shards: int = 1,
+    parallel: Optional[bool] = None,
+) -> PrewarmResult:
+    """Replay the full trace under the configured policy.
+
+    ``groups`` (in *config*) is the model: how many capacity cells the
+    host memory is split into.  ``shards`` is purely an execution knob
+    distributing cells over worker processes; results are merged in
+    group order, so output is byte-identical for any worker count.
+    """
+    config = config or PrewarmConfig()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    batches = [
+        [group for group in range(config.groups) if group % shards == worker]
+        for worker in range(min(shards, config.groups))
+    ]
+    payloads = [(config, batch) for batch in batches if batch]
+    use_processes = shards > 1 if parallel is None else (parallel and shards > 1)
+    if use_processes and len(payloads) > 1:
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=len(payloads)) as pool:
+            results = pool.map(_run_cell_batch, payloads)
+    else:
+        results = [_run_cell_batch(payload) for payload in payloads]
+    by_group = {cell.group: cell for batch in results for cell in batch}
+    return PrewarmResult(
+        config=config,
+        cells=[by_group[group] for group in sorted(by_group)],
+    )
+
+
+def render_replay(result: PrewarmResult) -> str:
+    """Fixed-width, byte-stable summary (worker-count-free, like PR 7)."""
+    config = result.config
+    replay = config.replay
+    counts = result.latency_counts()
+    lines = [
+        "Streaming trace replay — prewarm policy study",
+        f"  functions        {replay.functions}",
+        f"  duration         {replay.duration_s:.0f} s",
+        f"  seed             {replay.seed}",
+        f"  policy           {config.policy}",
+        f"  memory budget    {config.memory_budget_mb:.0f} MB"
+        f" ({config.groups} cell(s) x {config.memory_budget_mb / config.groups:.0f} MB)",
+        f"  sandbox size     {config.sandbox_mb:.0f} MB",
+        "",
+        f"  events           {result.events}",
+        f"  merge peak       {result.total('peak_buffered')}"
+        f" buffered (<= {replay.functions} functions)",
+        "",
+        "  tier                        count",
+        f"  warm (concurrent)     {result.total('concurrent_hits'):>11}",
+        f"  HORSE resume          {result.total('horse_hits'):>11}",
+        f"  snapshot restore      {result.total('restores'):>11}",
+        f"  cold boot             {result.total('cold_boots'):>11}",
+        "",
+        f"  prewarm loads    {result.total('prewarm_loads')}"
+        f" (failed {result.total('prewarm_failed')})",
+        f"  expiry unloads   {result.total('expiry_unloads')}",
+        f"  evictions        {result.total('pressure_evictions')}"
+        f" (overcommit loads {result.total('overcommit_loads')})",
+        f"  peak resident    {sum(c.peak_resident_mb for c in result.cells):.0f} MB",
+        "",
+        f"  init latency (us) over {sum(counts.values())} arrivals"
+        f" (warmup {config.warmup_s:.0f} s excluded {result.total('warmup_events')})",
+        f"    p50            {to_microseconds(counter_percentile_ns(counts, 50.0)):>12.3f}",
+        f"    p95            {to_microseconds(counter_percentile_ns(counts, 95.0)):>12.3f}",
+        f"    p99            {to_microseconds(counter_percentile_ns(counts, 99.0)):>12.3f}",
+        f"    p99.9          {to_microseconds(counter_percentile_ns(counts, 99.9)):>12.3f}",
+        "",
+        f"  invariant violations: {len(result.violations())}",
+    ]
+    return "\n".join(lines)

@@ -16,8 +16,12 @@ reconciliation property the observability tests assert.
 
 from __future__ import annotations
 
-from repro.metrics.recorder import Breakdown
+from typing import TYPE_CHECKING
+
 from repro.obs.metrics import MetricRegistry
+
+if TYPE_CHECKING:  # break the cycle: metrics.recorder imports repro.obs
+    from repro.metrics.recorder import Breakdown
 
 RESUME_MERGE_NS = "resume.merge_ns"
 RESUME_LOAD_UPDATE_NS = "resume.load_update_ns"

@@ -6,8 +6,24 @@ from repro.traces.arrival import (
     PoissonArrivals,
     TraceDrivenArrivals,
 )
-from repro.traces.azure import AzureTraceConfig, SyntheticTrace, synthesize_trace
+from repro.traces.azure import (
+    AzureTraceConfig,
+    SyntheticTrace,
+    burst_arrival_stream,
+    synthesize_trace,
+)
 from repro.traces.loader import TraceFormatError, load_azure_invocations_csv
+from repro.traces.replay import (
+    FunctionProfile,
+    ReplayConfig,
+    ReplayStats,
+    SplitMix64,
+    arrival_stream,
+    function_profile,
+    materialized_oracle,
+    merged_stream,
+    stream_seed,
+)
 from repro.traces.stats import (
     TraceProfile,
     burstiness_index,
@@ -32,7 +48,17 @@ __all__ = [
     "TraceDrivenArrivals",
     "AzureTraceConfig",
     "SyntheticTrace",
+    "burst_arrival_stream",
     "synthesize_trace",
+    "FunctionProfile",
+    "ReplayConfig",
+    "ReplayStats",
+    "SplitMix64",
+    "arrival_stream",
+    "function_profile",
+    "materialized_oracle",
+    "merged_stream",
+    "stream_seed",
     "TraceFormatError",
     "load_azure_invocations_csv",
 ]

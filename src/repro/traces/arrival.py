@@ -49,12 +49,16 @@ class PoissonArrivals(ArrivalProcess):
     """Memoryless arrivals at *rate_per_second*."""
 
     def __init__(self, rate_per_second: float, rng: random.Random) -> None:
-        if rate_per_second <= 0:
-            raise ValueError(f"rate must be positive, got {rate_per_second}")
+        if rate_per_second < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_per_second}")
         self.rate_per_second = rate_per_second
         self._rng = rng
 
     def arrivals(self, start_ns: int, end_ns: int) -> Iterator[int]:
+        if self.rate_per_second == 0:
+            # A zero-rate function never fires; an empty stream (rather
+            # than an error) lets trace synthesis keep dead functions.
+            return
         mean_gap_ns = 1e9 / self.rate_per_second
         when = float(start_ns)
         while True:

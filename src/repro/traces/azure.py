@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 from repro.sim.units import SECOND
 from repro.traces.arrival import TraceDrivenArrivals
@@ -51,6 +51,11 @@ class AzureTraceConfig:
         if not 0 < self.burst_on_fraction <= 1:
             raise ValueError(
                 f"burst_on_fraction must be in (0, 1], got {self.burst_on_fraction}"
+            )
+        if self.burst_mean_length_s <= 0:
+            raise ValueError(
+                f"burst_mean_length_s must be positive, "
+                f"got {self.burst_mean_length_s}"
             )
 
 
@@ -94,31 +99,66 @@ def _draw_function_rates(config: AzureTraceConfig, rng: random.Random) -> List[f
     return [r / total * target_total for r in raw]
 
 
-def _burst_arrivals(
-    rate: float, duration_s: float, config: AzureTraceConfig, rng: random.Random
-) -> List[int]:
-    """Markov-modulated Poisson arrivals for one function."""
+def burst_arrival_stream(
+    rate: float, duration_s: float, config: AzureTraceConfig, rng
+) -> Iterator[int]:
+    """Markov-modulated Poisson arrivals for one function, streamed.
+
+    Yields integer-ns timestamps in nondecreasing order and never
+    materializes the whole trace — the streaming replayer
+    (:mod:`repro.traces.replay`) holds thousands of these concurrently.
+    *rng* needs only ``random()`` and ``expovariate()``, so both
+    :class:`random.Random` and the replayer's counter-based streams fit.
+
+    Edge cases (each exercised by the replay test battery):
+
+    * ``rate == 0`` — a dead function: the stream is empty and consumes
+      no draws, so neighbouring functions' streams are unperturbed;
+    * ``burst_on_fraction == 1`` — no idle periods exist; the process
+      degenerates to a plain Poisson stream at *rate* (the legacy list
+      builder divided by a zero mean-off period here);
+    * rounding to integer ns can emit duplicate timestamps — callers
+      must tolerate equal consecutive values (the merge tie-break in
+      the replayer pins their order).
+    """
+    if rate < 0:
+        raise ValueError(f"arrival rate must be >= 0, got {rate}")
+    if rate == 0:
+        return
     # During active periods the instantaneous rate is boosted so the
     # long-run average matches *rate* despite idle gaps.
     active_rate = rate / config.burst_on_fraction
     mean_on = config.burst_mean_length_s
     mean_off = mean_on * (1.0 - config.burst_on_fraction) / config.burst_on_fraction
-    timestamps: List[int] = []
+    if mean_off == 0.0:
+        # Always-on: one uninterrupted Poisson process over the window.
+        t = 0.0
+        while True:
+            t += rng.expovariate(active_rate)
+            if t >= duration_s:
+                return
+            yield round(t * SECOND)
     now = 0.0
     active = rng.random() < config.burst_on_fraction
     while now < duration_s:
         period = rng.expovariate(1.0 / (mean_on if active else mean_off))
         period_end = min(duration_s, now + period)
-        if active and active_rate > 0:
+        if active:
             t = now
             while True:
                 t += rng.expovariate(active_rate)
                 if t >= period_end:
                     break
-                timestamps.append(round(t * SECOND))
+                yield round(t * SECOND)
         now = period_end
         active = not active
-    return sorted(timestamps)
+
+
+def _burst_arrivals(
+    rate: float, duration_s: float, config: AzureTraceConfig, rng: random.Random
+) -> List[int]:
+    """Materialized burst arrivals (the synthesizer's per-function list)."""
+    return sorted(burst_arrival_stream(rate, duration_s, config, rng))
 
 
 def _diurnal_factor(t_s: float) -> float:

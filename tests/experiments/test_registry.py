@@ -32,6 +32,7 @@ EXPECTED_IDS = {
     "cluster_sharded",
     "cluster_study",
     "pool_study",
+    "prewarm_frontier",
     "slo",
     "transport_sensitivity",
     "ablations",

@@ -60,6 +60,7 @@ class TestRunBenches:
             "chaos_e2e",
             "chaos_e2e_obs_on",
             "cluster_study_e2e",
+            "replay_e2e",
             "cluster_sharded_serial",
             "cluster_sharded",
         }

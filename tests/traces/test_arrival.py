@@ -64,9 +64,15 @@ class TestPoisson:
         b = PoissonArrivals(10.0, random.Random(7)).arrival_list(0, SECOND)
         assert a == b
 
-    def test_bad_rate_rejected(self):
+    def test_negative_rate_rejected(self):
         with pytest.raises(ValueError):
-            PoissonArrivals(0.0, random.Random(0))
+            PoissonArrivals(-1.0, random.Random(0))
+
+    def test_zero_rate_yields_empty_stream(self):
+        # A dead function (Azure's long idle tail) is a valid process
+        # that simply never fires — not a configuration error.
+        process = PoissonArrivals(0.0, random.Random(0))
+        assert process.arrival_list(0, 10**12) == []
 
 
 class TestTraceDriven:

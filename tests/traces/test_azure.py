@@ -5,7 +5,11 @@ import random
 import pytest
 
 from repro.sim.units import SECOND
-from repro.traces.azure import AzureTraceConfig, synthesize_trace
+from repro.traces.azure import (
+    AzureTraceConfig,
+    burst_arrival_stream,
+    synthesize_trace,
+)
 
 
 def make_trace(seed=0, **overrides):
@@ -26,6 +30,70 @@ class TestConfig:
     def test_bad_burst_fraction(self):
         with pytest.raises(ValueError):
             AzureTraceConfig(burst_on_fraction=0.0)
+
+    def test_bad_burst_length(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(burst_mean_length_s=0.0)
+
+
+class TestBurstArrivalStream:
+    """Edge cases the streaming replayer leans on."""
+
+    def make_config(self, **overrides):
+        defaults = dict(functions=1, duration_s=60.0)
+        defaults.update(overrides)
+        return AzureTraceConfig(**defaults)
+
+    def test_negative_rate_rejected(self):
+        stream = burst_arrival_stream(
+            -1.0, 60.0, self.make_config(), random.Random(0)
+        )
+        with pytest.raises(ValueError):
+            next(stream)
+
+    def test_zero_rate_is_empty_and_consumes_no_draws(self):
+        # A dead function must not perturb the rng it was handed —
+        # the replayer derives neighbouring state from the same stream.
+        rng = random.Random(0)
+        before = rng.getstate()
+        assert list(burst_arrival_stream(0.0, 60.0, self.make_config(), rng)) == []
+        assert rng.getstate() == before
+
+    def test_always_on_fraction_degenerates_to_poisson(self):
+        # burst_on_fraction == 1 used to divide by a zero mean-off
+        # period; now it runs one uninterrupted Poisson process.
+        config = self.make_config(burst_on_fraction=1.0)
+        arrivals = list(
+            burst_arrival_stream(10.0, 60.0, config, random.Random(1))
+        )
+        assert len(arrivals) == pytest.approx(600, rel=0.3)
+        assert arrivals == sorted(arrivals)
+
+    def test_stream_matches_legacy_materialized_order(self):
+        # Same rng, same draw sequence: streaming is a pure refactor of
+        # the old list builder.
+        config = self.make_config()
+        streamed = list(
+            burst_arrival_stream(5.0, 60.0, config, random.Random(2))
+        )
+        assert streamed == sorted(streamed)
+        assert streamed == list(
+            burst_arrival_stream(5.0, 60.0, config, random.Random(2))
+        )
+
+    def test_window_respected(self):
+        config = self.make_config()
+        horizon = round(60.0 * SECOND)
+        for t in burst_arrival_stream(20.0, 60.0, config, random.Random(3)):
+            assert 0 <= t <= horizon
+
+    def test_exhaustion_mid_window_is_clean(self):
+        # A slow stream may produce nothing at all; the generator must
+        # terminate (not hang) and be safely re-drainable.
+        config = self.make_config(duration_s=0.001)
+        stream = burst_arrival_stream(0.01, 0.001, config, random.Random(4))
+        assert list(stream) == []
+        assert list(stream) == []         # exhausted generators stay empty
 
 
 class TestStructure:
