@@ -209,6 +209,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     worker count never appears in the output — same seed, same flags
     ⇒ byte-identical stdout and ``--trace-out`` JSONL for ANY N (the
     CI shard job diffs N ∈ {1, 2, 4}).
+
+    With ``--gateways N`` the run exercises the crash-recoverable
+    control plane instead (DESIGN.md §14): each cell gets N gateway
+    shards behind a consistent-hash router, ``--gateway-failure-rate``
+    crashes whole shards, and recovery replays their intent logs.
+    Every run asserts the exactly-once invariants; with
+    ``--failure-rate 0`` the differential oracle additionally requires
+    outcome-identity against a same-seed zero-gateway-failure twin.
+    The byte-identity contract is unchanged: same seed and flags ⇒
+    identical output for any ``--shards``.
     """
     from repro.experiments.chaos import (
         CHAOSABLE,
@@ -225,6 +235,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 2
     _apply_scheduler(args)
+    if args.gateways is not None:
+        from repro.experiments.cluster_recovery import (
+            ClusterRecoveryConfig,
+            render_recovery,
+            run_recovery,
+            write_trace_jsonl as write_recovery_trace,
+        )
+
+        try:
+            recovery_config = ClusterRecoveryConfig(
+                groups=args.groups,
+                gateways=args.gateways,
+                hosts=args.hosts,
+                gateway_failure_rate=args.gateway_failure_rate,
+                failure_rate=args.failure_rate,
+                requests=args.requests,
+                seed=args.seed,
+            )
+            recovery = run_recovery(
+                recovery_config, shards=args.shards or 1
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(render_recovery(recovery))
+        if args.trace_out:
+            write_recovery_trace(recovery, args.trace_out)
+            print(f"wrote {args.trace_out}", file=sys.stderr)
+        return 0 if recovery.ok else 1
     if args.shards is not None:
         from repro.experiments.sharded_chaos import (
             ShardedChaosConfig,
@@ -529,8 +568,22 @@ def build_parser() -> argparse.ArgumentParser:
         "a model parameter: changing it changes the simulated system)",
     )
     chaos.add_argument(
+        "--gateways", type=int, default=None, metavar="N",
+        help="run the crash-recoverable control plane (DESIGN.md §14): "
+        "N gateway shards per failure-domain cell behind a "
+        "consistent-hash router; gateway crashes recover from intent "
+        "logs under the exactly-once oracle. --hosts then means hosts "
+        "per gateway shard",
+    )
+    chaos.add_argument(
+        "--gateway-failure-rate", type=float, default=0.2, metavar="R",
+        help="gateway-shard crash intensity in [0, 1) (with --gateways; "
+        "default 0.2). 0 disables gateway crashes",
+    )
+    chaos.add_argument(
         "--trace-out", type=str, default=None, metavar="PATH",
-        help="write the merged deterministic trace as JSONL (with --shards)",
+        help="write the merged deterministic trace as JSONL "
+        "(with --shards or --gateways)",
     )
     _add_scheduler_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)

@@ -1,0 +1,584 @@
+"""Cluster recovery study: gateway crashes under the exactly-once oracle.
+
+The sharded chaos study (:mod:`repro.experiments.sharded_chaos`) kills
+*hosts*; this study kills the control plane itself.  Each failure-domain
+cell runs a full :class:`~repro.controlplane.ControlPlane` — ``gateways``
+shards behind the consistent-hash ring, each fronting its own
+:class:`~repro.faas.cluster.FaaSCluster` on the cell's single engine —
+and a :class:`~repro.resilience.GatewayFailureInjector` crashes whole
+shards mid-run.  A crashed shard's functions spill to ring successors;
+its admitted-but-unresolved requests are re-dispatched from the intent
+log when the replacement comes up; when *every* shard is down, arrivals
+park at the frontend and drain on the first recovery.
+
+Correctness is not asserted from the chaos run alone: every cell is run
+**twice** from the same seed — once with gateway failures, once with
+the rate forced to zero — and, when host failures are off, the
+origin→terminal-state maps of the two runs must be *identical*.  That
+is the exactly-once differential oracle: a crash/recovery schedule may
+move latency, but it may not lose, duplicate, or flip the outcome of a
+single invocation.  On top of the oracle, every exit asserts the
+log-derived invariants (no invocation lost, none duplicated, fencing
+monotonicity, no cross-epoch completion).
+
+The PR 7 determinism contract carries over verbatim: ``shards`` (worker
+processes) is an execution knob; same seed ⇒ byte-identical merged
+trace and rendered output for any worker count, gateway crashes and
+all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.controlplane import (
+    ControlPlane,
+    GatewayShard,
+    exactly_once_checker,
+    terminal_outcomes,
+)
+from repro.experiments.chaos import _build_workloads
+from repro.faas.cluster import FaaSCluster
+from repro.faas.frontend import DISPATCH_LATENCY_NS, RoutedArrival, plan_arrivals
+from repro.faas.function import FunctionSpec
+from repro.metrics.stats import percentile
+from repro.resilience import (
+    AdmissionConfig,
+    FailureConfig,
+    FailureInjector,
+    GatewayFailureConfig,
+    GatewayFailureInjector,
+    ResilienceConfig,
+)
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.sharding import assign_cells, merge_records, windowed_run
+from repro.sim.units import seconds, to_microseconds
+
+#: Tie-break rank for record kinds at equal timestamps within one cell.
+_KIND_ORDER = {
+    "gw-crash": 0,
+    "gw-recover": 1,
+    "crash": 2,
+    "recover": 3,
+    "request": 4,
+}
+
+
+@dataclass(frozen=True)
+class ClusterRecoveryConfig:
+    """Shape of one recovery run (identical across worker counts).
+
+    ``groups`` is the number of failure-domain cells and ``gateways``
+    the number of control-plane shards per cell — both *model*
+    parameters.  The worker count is an execution knob passed to
+    :func:`run_recovery` separately.
+
+    Defaults are tuned for the strict oracle: host failures off,
+    admission capacity far above the offered load (shedding depends on
+    instantaneous occupancy, which a recovery legitimately perturbs),
+    and a request deadline comfortably inside the drain window so every
+    request resolves before the engine stops.
+    """
+
+    groups: int = 4
+    #: control-plane shards per cell
+    gateways: int = 3
+    #: hosts per gateway shard's cluster
+    hosts: int = 2
+    gateway_failure_rate: float = 0.2
+    #: host-level failure rate (0 keeps the differential oracle strict)
+    failure_rate: float = 0.0
+    requests: int = 600
+    mean_interarrival_ms: float = 5.0
+    ull_fraction: float = 0.5
+    warm_per_host: int = 3
+    drain_s: float = 60.0
+    #: per-request retry deadline; must stay well inside ``drain_s``
+    deadline_s: float = 30.0
+    gw_mtbf_base_s: float = 0.25
+    gw_recovery_ms: float = 400.0
+    crash_mtbf_base_s: float = 0.25
+    #: admission capacity per shard (high: the oracle needs no shedding)
+    admission_capacity: int = 4096
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ValueError(f"groups must be >= 1, got {self.groups}")
+        if self.gateways < 1:
+            raise ValueError(f"gateways must be >= 1, got {self.gateways}")
+        if self.hosts < 2:
+            raise ValueError(
+                f"each shard needs >= 2 hosts (hedging), got {self.hosts}"
+            )
+        if not 0.0 <= self.gateway_failure_rate < 1.0:
+            raise ValueError(
+                f"gateway_failure_rate must be in [0, 1), got "
+                f"{self.gateway_failure_rate}"
+            )
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if not 0.0 < self.deadline_s < self.drain_s:
+            raise ValueError(
+                f"deadline_s must be in (0, drain_s), got {self.deadline_s}"
+            )
+
+
+@dataclass
+class RecoveryCellOutcome:
+    """One failure-domain cell's results (picklable plain data)."""
+
+    group: int
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed: int = 0
+    gw_crashes: int = 0
+    gw_recoveries: int = 0
+    #: orphaned requests re-dispatched from intent logs, all shards
+    redispatched: int = 0
+    #: stale pre-crash completions dropped by fencing, all shards
+    fenced: int = 0
+    parked: int = 0
+    drained: int = 0
+    host_crashes: int = 0
+    #: sorted completion latencies (µs); pooled for percentiles
+    latencies_us: List[float] = field(default_factory=list)
+    #: subset whose lifetime overlapped a gateway outage window
+    recovery_latencies_us: List[float] = field(default_factory=list)
+    #: origin -> terminal state (the oracle comparand)
+    outcomes: Dict[int, str] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    events_executed: int = 0
+    windows: int = 0
+    records: List[dict] = field(default_factory=list)
+
+
+def recovery_cell_seed(seed: int, group: int) -> int:
+    """The derived root seed for one cell — pure in (seed, group)."""
+    return RngRegistry(seed).fork(f"recovery-cell-{group}").root_seed
+
+
+def run_recovery_cell(
+    config: ClusterRecoveryConfig,
+    group: int,
+    arrivals: Sequence[RoutedArrival],
+) -> RecoveryCellOutcome:
+    """One cell: N gateway shards, one engine, gateway chaos, audit."""
+    seed = recovery_cell_seed(config.seed, group)
+    rngs = RngRegistry(seed)
+    engine = Engine()
+    resilience = ResilienceConfig(
+        default_deadline_ns=seconds(config.deadline_s),
+        admission=AdmissionConfig(
+            capacity=config.admission_capacity, reserved_slots=8
+        ),
+    )
+    shards: List[GatewayShard] = []
+    host_injectors: List[FailureInjector] = []
+    for index in range(config.gateways):
+        shard_seed = rngs.fork(f"gateway-{index}").root_seed
+        cluster = FaaSCluster(
+            hosts=config.hosts, seed=shard_seed, engine=engine
+        )
+        firewall, background = _build_workloads("horse")
+        cluster.register(FunctionSpec("firewall", firewall, memory_mb=128))
+        cluster.register(FunctionSpec("background", background, memory_mb=256))
+        cluster.provision_warm("firewall", per_host=config.warm_per_host)
+        cluster.provision_warm("background", per_host=config.warm_per_host)
+        shard = GatewayShard(index, cluster, resilience, seed=shard_seed)
+        if config.failure_rate > 0.0:
+            injector = FailureInjector(
+                cluster,
+                FailureConfig(
+                    failure_rate=config.failure_rate,
+                    crash_mtbf_base_s=config.crash_mtbf_base_s,
+                    calm_factor=0.05,
+                ),
+                seed=shard_seed,
+                domain=group,
+            )
+            shard.attach(injector)
+            host_injectors.append(injector)
+        shards.append(shard)
+
+    plane = ControlPlane(engine, shards)
+    gw_injector = GatewayFailureInjector(
+        plane,
+        GatewayFailureConfig(
+            gateway_failure_rate=config.gateway_failure_rate,
+            mtbf_base_s=config.gw_mtbf_base_s,
+            recovery_ms=config.gw_recovery_ms,
+        ),
+        seed=seed,
+        domain=group,
+    )
+
+    records: List[dict] = []
+    #: closed outage intervals per shard: shard -> [(crash, recover)]
+    outage_start: Dict[int, int] = {}
+    outages: List[Tuple[int, int]] = []
+    gw_injector.on_crash.append(
+        lambda index, now: (
+            records.append(
+                {"t": now, "shard": group, "kind": "gw-crash", "gw": index}
+            ),
+            outage_start.__setitem__(index, now),
+        )
+    )
+    gw_injector.on_recover.append(
+        lambda index, now: (
+            records.append(
+                {"t": now, "shard": group, "kind": "gw-recover", "gw": index}
+            ),
+            outages.append((outage_start.pop(index), now)),
+        )
+    )
+    for cluster_index, injector in enumerate(host_injectors):
+        injector.on_crash.append(
+            lambda index, now, gw=cluster_index: records.append(
+                {"t": now, "shard": group, "kind": "crash",
+                 "gw": gw, "host": index}
+            )
+        )
+        injector.on_recover.append(
+            lambda index, now, gw=cluster_index: records.append(
+                {"t": now, "shard": group, "kind": "recover",
+                 "gw": gw, "host": index}
+            )
+        )
+
+    deadline_ns = seconds(config.deadline_s)
+    deliveries = [
+        (
+            arrival.deliver_ns,
+            lambda a=arrival: plane.submit(
+                a.function,
+                priority=a.priority,
+                origin=a.index,
+                deadline_ns=deadline_ns,
+            ),
+        )
+        for arrival in arrivals
+    ]
+    last = arrivals[-1].deliver_ns if arrivals else 0
+    gw_injector.schedule_crashes(until_ns=last)
+    for injector in host_injectors:
+        injector.schedule_crashes(until_ns=last)
+    windows = windowed_run(
+        engine,
+        deliveries,
+        lookahead_ns=DISPATCH_LATENCY_NS,
+        drain_until=last + seconds(config.drain_s),
+        label="recovery-submit",
+    )
+
+    # An outage still open when the run drains closes at engine.now.
+    for index in sorted(outage_start):
+        outages.append((outage_start[index], engine.now))
+
+    outcomes = terminal_outcomes(plane)
+    latencies: List[float] = []
+    recovery_latencies: List[float] = []
+    for shard in plane.shards:
+        for record in shard.log.outcomes():
+            if record.state != "completed" or record.latency_ns < 0:
+                continue
+            value = to_microseconds(record.latency_ns)
+            latencies.append(value)
+            started = record.t - record.latency_ns
+            if any(started <= end and record.t >= start
+                   for start, end in outages):
+                recovery_latencies.append(value)
+    latencies.sort()
+    recovery_latencies.sort()
+
+    violations = [
+        f"g{group}: {message}"
+        for message in exactly_once_checker(plane)(engine.now)
+    ]
+    for shard in plane.shards:
+        violations.extend(
+            f"g{group}/gw{shard.shard_id}: {message}"
+            for message in shard.gateway.invariant_violations()
+        )
+
+    counted = list(outcomes.values())
+    for arrival in arrivals:
+        record = {
+            "t": arrival.deliver_ns,
+            "shard": group,
+            "kind": "request",
+            "req": arrival.index,
+            "fn": arrival.function,
+            "state": outcomes.get(arrival.index, "lost"),
+        }
+        records.append(record)
+    records.sort(
+        key=lambda r: (
+            r["t"], _KIND_ORDER[r["kind"]], r.get("req", r.get("gw", 0))
+        )
+    )
+
+    return RecoveryCellOutcome(
+        group=group,
+        submitted=len(arrivals),
+        completed=sum(1 for state in counted if state == "completed"),
+        shed=sum(1 for state in counted if state == "shed"),
+        failed=sum(1 for state in counted if state == "failed"),
+        gw_crashes=gw_injector.crashes,
+        gw_recoveries=gw_injector.recoveries,
+        redispatched=sum(shard.redispatched for shard in shards),
+        fenced=sum(shard.fenced_completions for shard in shards),
+        parked=plane.parked_total,
+        drained=plane.drained_total,
+        host_crashes=sum(
+            injector.fired["node_crash"] for injector in host_injectors
+        ),
+        latencies_us=latencies,
+        recovery_latencies_us=recovery_latencies,
+        outcomes=outcomes,
+        violations=violations,
+        events_executed=engine.events_executed,
+        windows=windows,
+        records=records,
+    )
+
+
+def _run_cell_batch(payload) -> List[RecoveryCellOutcome]:
+    """Worker entry point (top-level, picklable): a batch of cells.
+
+    Each task is ``(config, group)`` — chaos cells and their
+    zero-gateway-failure oracle twins travel through the same pool,
+    distinguished only by the config they carry.
+    """
+    tasks, arrivals_by_group = payload
+    return [
+        run_recovery_cell(config, group, arrivals_by_group[group])
+        for config, group in tasks
+    ]
+
+
+@dataclass
+class ClusterRecoveryResult:
+    config: ClusterRecoveryConfig
+    cells: Dict[int, RecoveryCellOutcome] = field(default_factory=dict)
+    #: same cells re-run with gateway_failure_rate forced to zero
+    oracle_cells: Dict[int, RecoveryCellOutcome] = field(default_factory=dict)
+    #: oracle verdicts, one line per divergence (empty = exactly-once)
+    oracle_mismatches: List[str] = field(default_factory=list)
+    #: whether the strict outcome-identity oracle applied (host rate 0)
+    oracle_strict: bool = True
+    records: List[dict] = field(default_factory=list)
+    events_executed: int = 0
+    windows: int = 0
+
+    @property
+    def violations(self) -> List[str]:
+        problems = [
+            message
+            for cell in self.cells.values()
+            for message in cell.violations
+        ]
+        problems.extend(
+            message
+            for cell in self.oracle_cells.values()
+            for message in cell.violations
+        )
+        problems.extend(self.oracle_mismatches)
+        return problems
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _compare_oracle(
+    group: int,
+    chaos: RecoveryCellOutcome,
+    oracle: RecoveryCellOutcome,
+) -> List[str]:
+    """Differential exactly-once: identical origin→terminal-state maps."""
+    mismatches: List[str] = []
+    origins = sorted(set(chaos.outcomes) | set(oracle.outcomes))
+    for origin in origins:
+        left = chaos.outcomes.get(origin, "missing")
+        right = oracle.outcomes.get(origin, "missing")
+        if left != right:
+            mismatches.append(
+                f"g{group}: origin {origin} diverged from oracle: "
+                f"chaos={left} zero-failure={right}"
+            )
+    return mismatches
+
+
+def run_recovery(
+    config: Optional[ClusterRecoveryConfig] = None,
+    shards: int = 1,
+    parallel: Optional[bool] = None,
+) -> ClusterRecoveryResult:
+    """The full study: every cell plus its oracle twin, over workers.
+
+    ``shards`` is the worker count — an execution knob.  Chaos cells
+    and oracle cells are all independent pure functions of
+    ``(config, seed, group)``, so they share one pool; results are
+    byte-identical for any worker count.
+    """
+    config = config or ClusterRecoveryConfig()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    arrivals_by_group = plan_arrivals(
+        requests=config.requests,
+        groups=config.groups,
+        mean_interarrival_ms=config.mean_interarrival_ms,
+        ull_fraction=config.ull_fraction,
+        seed=config.seed,
+    )
+    oracle_config = replace(config, gateway_failure_rate=0.0)
+    tasks: List[Tuple[ClusterRecoveryConfig, int]] = [
+        (config, group) for group in range(config.groups)
+    ] + [(oracle_config, group) for group in range(config.groups)]
+    assignment = assign_cells(len(tasks), shards)
+    payloads = [
+        (
+            [tasks[i] for i in batch],
+            {
+                group: arrivals_by_group[group]
+                for _cfg, group in (tasks[i] for i in batch)
+            },
+        )
+        for batch in assignment
+    ]
+    use_processes = shards > 1 if parallel is None else (parallel and shards > 1)
+    if use_processes:
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=shards) as pool:
+            batches = pool.map(_run_cell_batch, payloads)
+    else:
+        batches = [_run_cell_batch(payload) for payload in payloads]
+
+    result = ClusterRecoveryResult(config=config)
+    result.oracle_strict = config.failure_rate == 0.0
+    # Tasks are [chaos cells..., oracle cells...]; the pool preserves
+    # payload order, so the assignment indices identify each twin.
+    for batch_index, batch in enumerate(batches):
+        for offset, cell in enumerate(batch):
+            task_index = assignment[batch_index][offset]
+            task_config, group = tasks[task_index]
+            if task_config is config:
+                result.cells[group] = cell
+            else:
+                result.oracle_cells[group] = cell
+    if result.oracle_strict:
+        for group in range(config.groups):
+            result.oracle_mismatches.extend(
+                _compare_oracle(
+                    group, result.cells[group], result.oracle_cells[group]
+                )
+            )
+    result.records = merge_records(
+        [result.cells[group].records for group in range(config.groups)]
+    )
+    result.events_executed = sum(
+        cell.events_executed for cell in result.cells.values()
+    )
+    result.windows = sum(cell.windows for cell in result.cells.values())
+    return result
+
+
+def render_recovery(result: ClusterRecoveryResult) -> str:
+    """Fixed-width summary, byte-stable and worker-count-free."""
+    config = result.config
+    cells = [result.cells[group] for group in range(config.groups)]
+    latencies = sorted(v for cell in cells for v in cell.latencies_us)
+    recovery = sorted(
+        v for cell in cells for v in cell.recovery_latencies_us
+    )
+    steady_count = len(latencies) - len(recovery)
+    lines = [
+        f"cluster-recovery: groups={config.groups} gateways={config.gateways} "
+        f"hosts/gw={config.hosts} requests={config.requests} "
+        f"gw_failure_rate={config.gateway_failure_rate:g} "
+        f"host_failure_rate={config.failure_rate:g} seed={config.seed}",
+        "",
+        f"{'cell':>4s} {'subm':>5s} {'done':>5s} {'shed':>5s} {'fail':>5s} "
+        f"{'gwcrash':>8s} {'redisp':>7s} {'fenced':>7s} {'parked':>7s} "
+        f"{'p99 us':>10s}",
+    ]
+    for cell in cells:
+        p99 = (
+            percentile(cell.latencies_us, 99.0) if cell.latencies_us else 0.0
+        )
+        lines.append(
+            f"g{cell.group:>3d} {cell.submitted:5d} {cell.completed:5d} "
+            f"{cell.shed:5d} {cell.failed:5d} {cell.gw_crashes:8d} "
+            f"{cell.redispatched:7d} {cell.fenced:7d} {cell.parked:7d} "
+            f"{p99:10.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"latency: completions={len(latencies)} "
+        f"p50_us={percentile(latencies, 50.0) if latencies else 0.0:.2f} "
+        f"p99_us={percentile(latencies, 99.0) if latencies else 0.0:.2f}"
+    )
+    lines.append(
+        f"recovery-window: completions={len(recovery)} "
+        f"p99_us={percentile(recovery, 99.0) if recovery else 0.0:.2f} "
+        f"(steady completions={steady_count})"
+    )
+    lines.append(
+        f"control-plane: gw_crashes={sum(c.gw_crashes for c in cells)} "
+        f"gw_recoveries={sum(c.gw_recoveries for c in cells)} "
+        f"redispatched={sum(c.redispatched for c in cells)} "
+        f"fenced={sum(c.fenced for c in cells)} "
+        f"parked={sum(c.parked for c in cells)} "
+        f"drained={sum(c.drained for c in cells)}"
+    )
+    if result.oracle_strict:
+        verdict = (
+            "identical"
+            if not result.oracle_mismatches
+            else f"{len(result.oracle_mismatches)} DIVERGENCES"
+        )
+        lines.append(f"oracle: zero-failure twin outcomes {verdict}")
+    else:
+        lines.append(
+            "oracle: strict identity waived (host failures enabled); "
+            "log invariants still enforced"
+        )
+    if not result.ok:
+        lines.append(f"UNSOUND — {len(result.violations)} violations")
+        lines.extend(f"  {message}" for message in result.violations[:10])
+    lines.append("")
+    lines.append(
+        f"recovery: events={result.events_executed} windows={result.windows} "
+        f"lookahead_ns={DISPATCH_LATENCY_NS} trace_records={len(result.records)}"
+    )
+    return "\n".join(lines)
+
+
+def trace_jsonl(result: ClusterRecoveryResult) -> str:
+    """The merged trace as canonical JSONL (byte-stable form)."""
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in result.records
+    )
+
+
+def write_trace_jsonl(result: ClusterRecoveryResult, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(trace_jsonl(result))

@@ -19,6 +19,7 @@ histogram policy (per-function p99 idle gap), mirroring the fixed vs
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -64,13 +65,18 @@ class PoolStudyResult:
 
 
 def _default_policies() -> Dict[str, KeepAlivePolicy]:
+    # HistogramKeepAlive is deprecated (see repro.faas.prewarm), but the
+    # study's comparison table keeps it as the adaptive baseline.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        histogram = HistogramKeepAlive(
+            default_window_ns=seconds(30), min_observations=4
+        )
     return {
         "fixed-5s": FixedKeepAlive(seconds(5)),
         "fixed-30s": FixedKeepAlive(seconds(30)),
         "fixed-120s": FixedKeepAlive(seconds(120)),
-        "histogram": HistogramKeepAlive(
-            default_window_ns=seconds(30), min_observations=4
-        ),
+        "histogram": histogram,
     }
 
 

@@ -385,6 +385,61 @@ def _render_cluster_sharded(result: Any) -> str:
     return render_sharded_chaos(result)
 
 
+def _run_cluster_recovery(config: ExperimentConfig) -> Any:
+    from repro.experiments.cluster_recovery import (
+        ClusterRecoveryConfig,
+        run_recovery,
+    )
+
+    recovery_config = (
+        ClusterRecoveryConfig(groups=2, requests=200, seed=config.seed)
+        if config.fast
+        else ClusterRecoveryConfig(seed=config.seed)
+    )
+    return run_recovery(recovery_config, shards=config.shards)
+
+
+def _render_cluster_recovery(result: Any) -> str:
+    from repro.experiments.cluster_recovery import render_recovery
+
+    return render_recovery(result)
+
+
+def _recovery_rows(result: Any) -> List[Dict[str, Any]]:
+    from repro.metrics.stats import percentile
+
+    rows = []
+    for group in sorted(result.cells):
+        cell = result.cells[group]
+        rows.append(
+            {
+                "group": cell.group,
+                "submitted": cell.submitted,
+                "completed": cell.completed,
+                "shed": cell.shed,
+                "failed": cell.failed,
+                "gw_crashes": cell.gw_crashes,
+                "gw_recoveries": cell.gw_recoveries,
+                "redispatched": cell.redispatched,
+                "fenced": cell.fenced,
+                "parked": cell.parked,
+                "p99_us": (
+                    percentile(cell.latencies_us, 99.0)
+                    if cell.latencies_us
+                    else 0.0
+                ),
+                "recovery_p99_us": (
+                    percentile(cell.recovery_latencies_us, 99.0)
+                    if cell.recovery_latencies_us
+                    else 0.0
+                ),
+                "violations": len(cell.violations),
+                "oracle_ok": not result.oracle_mismatches,
+            }
+        )
+    return rows
+
+
 def _run_cluster_study(config: ExperimentConfig) -> Any:
     from repro.experiments.cluster_study import run_cluster_study
 
@@ -677,6 +732,16 @@ register(
         runner=_run_cluster_sharded,
         renderer=_render_cluster_sharded,
         rows_fn=_chaos_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="cluster_recovery",
+        title="Recovery — gateway crashes under the exactly-once oracle",
+        fast_estimate_s=2.0,
+        runner=_run_cluster_recovery,
+        renderer=_render_cluster_recovery,
+        rows_fn=_recovery_rows,
     )
 )
 register(

@@ -45,6 +45,72 @@ class AutoscalerConfig:
             )
 
 
+class PoolTargetTracker:
+    """Engine-free sliding-window rate → Little's-law pool target.
+
+    The pure core of the autoscaler, shared with the prewarm replayer's
+    budget protection (:mod:`repro.faas.prewarm`): callers pass the
+    current instant explicitly, so the tracker works against any clock
+    (sim engine, replay stream) without holding a platform reference.
+    """
+
+    __slots__ = (
+        "window_ns",
+        "expected_busy_ns",
+        "headroom",
+        "min_pool",
+        "max_pool",
+        "_arrivals",
+    )
+
+    def __init__(
+        self,
+        window_ns: int,
+        expected_busy_ns: int,
+        headroom: float = 1.5,
+        min_pool: int = 0,
+        max_pool: int = 32,
+    ) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        if expected_busy_ns <= 0:
+            raise ValueError(
+                f"expected busy time must be positive, got {expected_busy_ns}"
+            )
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1.0, got {headroom}")
+        if not 0 <= min_pool <= max_pool:
+            raise ValueError(f"bad pool bounds [{min_pool}, {max_pool}]")
+        self.window_ns = window_ns
+        self.expected_busy_ns = expected_busy_ns
+        self.headroom = headroom
+        self.min_pool = min_pool
+        self.max_pool = max_pool
+        self._arrivals: Deque[int] = deque()
+
+    def observe(self, now_ns: int) -> None:
+        """Record one arrival at *now_ns*."""
+        self._arrivals.append(now_ns)
+        self._expire(now_ns)
+
+    def _expire(self, now_ns: int) -> None:
+        horizon = now_ns - self.window_ns
+        arrivals = self._arrivals
+        while arrivals and arrivals[0] < horizon:
+            arrivals.popleft()
+
+    def rate_per_second(self, now_ns: int) -> float:
+        self._expire(now_ns)
+        return len(self._arrivals) / (self.window_ns / SECOND)
+
+    def target(self, now_ns: int) -> int:
+        """Little's law with headroom, clamped to the pool bounds."""
+        rate = self.rate_per_second(now_ns)
+        busy_s = self.expected_busy_ns / SECOND
+        raw = math.ceil(rate * busy_s * self.headroom)
+        return max(self.min_pool, min(self.max_pool, raw))
+
+
 class PoolAutoscaler:
     """Sliding-window rate tracker + periodic pool reconciliation."""
 
@@ -55,15 +121,17 @@ class PoolAutoscaler:
         expected_busy_ns: int,
         config: AutoscalerConfig = AutoscalerConfig(),
     ) -> None:
-        if expected_busy_ns <= 0:
-            raise ValueError(
-                f"expected busy time must be positive, got {expected_busy_ns}"
-            )
         self.faas = faas
         self.function_name = function_name
         self.expected_busy_ns = expected_busy_ns
         self.config = config
-        self._arrivals: Deque[int] = deque()
+        self.tracker = PoolTargetTracker(
+            window_ns=config.window_ns,
+            expected_busy_ns=expected_busy_ns,
+            headroom=config.headroom,
+            min_pool=config.min_pool,
+            max_pool=config.max_pool,
+        )
         self._tick_event: Optional[Event] = None
         self._running = False
         self.reconciliations = 0
@@ -73,25 +141,14 @@ class PoolAutoscaler:
     # ------------------------------------------------------------------
     def observe_trigger(self) -> None:
         """Record one trigger at the current instant."""
-        self._arrivals.append(self.faas.engine.now)
-        self._expire_old()
-
-    def _expire_old(self) -> None:
-        horizon = self.faas.engine.now - self.config.window_ns
-        while self._arrivals and self._arrivals[0] < horizon:
-            self._arrivals.popleft()
+        self.tracker.observe(self.faas.engine.now)
 
     def observed_rate_per_second(self) -> float:
-        self._expire_old()
-        window_s = self.config.window_ns / SECOND
-        return len(self._arrivals) / window_s
+        return self.tracker.rate_per_second(self.faas.engine.now)
 
     def desired_pool_size(self) -> int:
         """Little's law with headroom, clamped to the config bounds."""
-        rate = self.observed_rate_per_second()
-        busy_s = self.expected_busy_ns / SECOND
-        raw = math.ceil(rate * busy_s * self.config.headroom)
-        return max(self.config.min_pool, min(self.config.max_pool, raw))
+        return self.tracker.target(self.faas.engine.now)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -174,10 +174,13 @@ class FaaSCluster:
         seed: int = 0,
         placement: Optional[PlacementPolicy] = None,
         horse_config: HorseConfig = HorseConfig.full(),
+        engine: Optional[Engine] = None,
     ) -> None:
         if hosts < 1:
             raise ValueError(f"cluster needs >= 1 host, got {hosts}")
-        self.engine = Engine()
+        # Several clusters may share one engine (the sharded control
+        # plane runs one cluster per gateway shard on the cell's clock).
+        self.engine = engine if engine is not None else Engine()
         root = RngRegistry(seed)
         self.hosts: List[FaaSPlatform] = [
             FaaSPlatform(

@@ -10,11 +10,20 @@ policies:
 * :class:`HistogramKeepAlive` — the "Serverless in the Wild" (ATC'20)
   adaptive policy: the window follows the observed idle-time
   distribution of that function, here its observed p99 idle gap.
+
+.. deprecated::
+   :class:`HistogramKeepAlive` is superseded by
+   :class:`repro.faas.prewarm.HybridHistogram`, the full ATC'20 policy
+   (binned histograms, prewarm windows, pattern-change reset) used by
+   the streaming replayer; pool protection against eviction is now
+   driven by :class:`repro.faas.autoscaler.PoolTargetTracker`.  This
+   module remains for the legacy pool study only.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from collections import defaultdict
 from typing import Dict, List
 
@@ -51,6 +60,12 @@ class HistogramKeepAlive(KeepAlivePolicy):
     Until enough gaps are observed the policy falls back to a default
     window; afterwards it keeps sandboxes for the p99 idle gap plus a
     safety margin, the essence of the ATC'20 histogram policy.
+
+    .. deprecated::
+       Use :class:`repro.faas.prewarm.HybridHistogram` instead — the
+       complete ATC'20 policy (prewarm windows, out-of-bounds fallback,
+       pattern-change reset) with bounded per-function state.  Kept for
+       the legacy pool study's comparison table.
     """
 
     def __init__(
@@ -60,6 +75,12 @@ class HistogramKeepAlive(KeepAlivePolicy):
         margin: float = 1.1,
         max_window_ns: int = seconds(3600),
     ) -> None:
+        warnings.warn(
+            "HistogramKeepAlive is deprecated; use "
+            "repro.faas.prewarm.HybridHistogram (full ATC'20 policy)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if min_observations < 1:
             raise ValueError(
                 f"min_observations must be >= 1, got {min_observations}"

@@ -48,6 +48,7 @@ from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.faas.autoscaler import PoolTargetTracker
 from repro.hypervisor.costs import CostModel, cost_model_for
 from repro.sim.units import SECOND, to_microseconds
 from repro.traces.replay import ReplayConfig, ReplayStats, merged_stream
@@ -359,6 +360,17 @@ class PrewarmConfig:
     #: latency histogram starts here (steady state): first-touch cold
     #: boots and unfilled histograms are setup, not the policy's fault
     warmup_s: float = 0.0
+    #: protect hot functions from pressure eviction using the
+    #: autoscaler's pool-target tracker
+    #: (:class:`repro.faas.autoscaler.PoolTargetTracker`): a function
+    #: whose Little's-law target is >= 1 sandbox is skipped by the LRU
+    #: victim scan.  Off by default — it changes eviction order, and
+    #: the policy-frontier studies pin the unprotected behaviour.
+    autoscale_protect: bool = False
+    #: tracker rate window (with autoscale_protect)
+    protect_window_s: float = 60.0
+    #: tracker safety factor over Little's law (with autoscale_protect)
+    protect_headroom: float = 1.5
 
     def __post_init__(self) -> None:
         if self.memory_budget_mb <= 0:
@@ -374,6 +386,14 @@ class PrewarmConfig:
         if not 0 <= self.warmup_s < self.replay.duration_s:
             raise ValueError(
                 f"warmup_s must be in [0, duration), got {self.warmup_s}"
+            )
+        if self.protect_window_s <= 0:
+            raise ValueError(
+                f"protect_window_s must be positive, got {self.protect_window_s}"
+            )
+        if self.protect_headroom < 1.0:
+            raise ValueError(
+                f"protect_headroom must be >= 1.0, got {self.protect_headroom}"
             )
         make_policy(self.policy)      # validate the spelling up front
 
@@ -416,6 +436,7 @@ class CellStats:
     expiry_unloads: int = 0
     pressure_evictions: int = 0
     overcommit_loads: int = 0
+    protected_skips: int = 0          # victims spared by autoscale_protect
     peak_resident_mb: float = 0.0
     peak_lifecycle_heap: int = 0
     peak_buffered: int = 0            # replayer merge ceiling (<= functions)
@@ -442,6 +463,12 @@ class _Cell:
         self.budget_mb = config.memory_budget_mb / config.groups
         self.warmup_ns = round(config.warmup_s * SECOND)
         self.states: Dict[int, _FnState] = {}
+        #: per-function Little's-law trackers (autoscale_protect only);
+        #: None keeps the legacy victim scan entirely tracker-free
+        self.trackers: Optional[Dict[int, "PoolTargetTracker"]] = (
+            {} if config.autoscale_protect else None
+        )
+        self.protect_window_ns = round(config.protect_window_s * SECOND)
         self.lru: "OrderedDict[int, None]" = OrderedDict()
         self.lifecycle: List[Tuple[int, int, int]] = []
         self._compact_at = 1024
@@ -462,12 +489,21 @@ class _Cell:
         An in-flight sandbox (``busy_until > now``) is never a victim.
         """
         need = self.config.sandbox_mb
+        trackers = self.trackers
         while self._resident_mb() + need > self.budget_mb:
             victim = None
             for fn in self.lru:               # oldest first
-                if self.states[fn].busy_until <= now:
-                    victim = fn
-                    break
+                if self.states[fn].busy_until > now:
+                    continue
+                if trackers is not None:
+                    tracker = trackers.get(fn)
+                    if tracker is not None and tracker.target(now) >= 1:
+                        # The autoscaler still wants a warm sandbox for
+                        # this function — spare it, keep scanning.
+                        self.stats.protected_skips += 1
+                        continue
+                victim = fn
+                break
             if victim is None:
                 if strict:
                     return False
@@ -583,6 +619,18 @@ class _Cell:
             state = self.states[fn] = _FnState()
         stats = self.stats
         stats.events += 1
+        trackers = self.trackers
+        if trackers is not None:
+            tracker = trackers.get(fn)
+            if tracker is None:
+                tracker = trackers[fn] = PoolTargetTracker(
+                    window_ns=self.protect_window_ns,
+                    expected_busy_ns=max(1, self.config.exec_ns),
+                    headroom=self.config.protect_headroom,
+                    min_pool=0,
+                    max_pool=1,
+                )
+            tracker.observe(now)
 
         concurrent = state.busy_until > now
         if not concurrent and state.last_end >= 0:

@@ -50,6 +50,8 @@ from repro.resilience.failures import (
     FAILURE_KINDS,
     FailureConfig,
     FailureInjector,
+    GatewayFailureConfig,
+    GatewayFailureInjector,
 )
 from repro.resilience.gateway import (
     Attempt,
@@ -81,6 +83,8 @@ __all__ = [
     "FAILURE_KINDS",
     "FailureConfig",
     "FailureInjector",
+    "GatewayFailureConfig",
+    "GatewayFailureInjector",
     "Attempt",
     "Request",
     "RequestState",

@@ -43,7 +43,7 @@ LEGAL_TRANSITIONS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BreakerConfig:
     """Tunables for one circuit breaker."""
 
@@ -67,7 +67,7 @@ class BreakerConfig:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BreakerTransition:
     """One audited state change."""
 
@@ -79,6 +79,12 @@ class BreakerTransition:
 
 class CircuitBreaker:
     """One host's breaker; all times are simulated nanoseconds."""
+
+    __slots__ = (
+        "config", "name", "obs", "state", "consecutive_failures",
+        "opened_at_ns", "probes_in_flight", "transitions",
+        "successes", "failures",
+    )
 
     def __init__(
         self,
@@ -136,6 +142,22 @@ class CircuitBreaker:
                 return True
             return False
         return self.probes_in_flight < self.config.half_open_probes
+
+    def force_open(self, now_ns: int, reason: str = "forced open") -> None:
+        """Trip the breaker administratively (CLOSED -> OPEN).
+
+        The control plane uses this for conservative post-recovery
+        rebuilds: a replacement gateway shard cannot know which hosts
+        its predecessor's breakers were guarding (breaker state is not
+        in the intent log by design), so it re-opens every breaker and
+        lets the half-open probes rediscover health.  No-op unless the
+        breaker is CLOSED — an already-OPEN breaker is already cautious.
+        """
+        if self.state is not BreakerState.CLOSED:
+            return
+        self._transition(BreakerState.OPEN, now_ns, reason)
+        self.opened_at_ns = now_ns
+        self.consecutive_failures = 0
 
     def on_attempt(self, now_ns: int) -> None:
         """An attempt was actually launched through this breaker."""

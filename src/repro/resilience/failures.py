@@ -256,3 +256,129 @@ class FailureInjector:
             f"domain={self.domain}, flaky={list(self.flaky_hosts)}, "
             f"fired={self.fired})"
         )
+
+
+@dataclass(frozen=True)
+class GatewayFailureConfig:
+    """Crash/recovery schedule for *gateway shards* (control plane).
+
+    Mirrors the host-level knob decomposition: mean shard up-time is
+    ``mtbf_base_s / gateway_failure_rate`` and recovery (the window the
+    replacement takes to come up and replay its log) is jittered around
+    ``recovery_ms``.  Rate 0 disables the domain entirely — the
+    zero-failure oracle twin runs with the exact same arrival stream
+    and host schedule, just no gateway crashes.
+    """
+
+    gateway_failure_rate: float = 0.1
+    #: mean up-time = mtbf_base_s / gateway_failure_rate
+    mtbf_base_s: float = 1.0
+    #: mean control-plane recovery window (jittered +/- 50 %)
+    recovery_ms: float = 400.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gateway_failure_rate < 1.0:
+            raise ValueError(
+                f"gateway_failure_rate must be in [0, 1), got "
+                f"{self.gateway_failure_rate}"
+            )
+
+    def mean_uptime_ns(self) -> Optional[int]:
+        if self.gateway_failure_rate == 0.0:
+            return None
+        return seconds(self.mtbf_base_s / self.gateway_failure_rate)
+
+
+class GatewayFailureInjector:
+    """Crashes and recovers whole gateway shards, deterministically.
+
+    The gateway failure domain is independent of the host domain: its
+    RNG registry is forked under its own label, so enabling (or
+    disabling) gateway crashes perturbs no host-level draw — the
+    property the exactly-once differential oracle relies on.
+
+    Crash/recovery events target the control plane
+    (:meth:`~repro.controlplane.ControlPlane.crash_shard` /
+    :meth:`~repro.controlplane.ControlPlane.recover_shard`); the plane
+    fences the dead incarnation, replays the intent log into the
+    replacement, and drains the frontend parking lot.
+    """
+
+    def __init__(
+        self,
+        plane,
+        config: GatewayFailureConfig,
+        seed: int = 0,
+        domain: int = 0,
+    ) -> None:
+        self.plane = plane
+        self.config = config
+        self.seed = seed
+        self.domain = domain
+        self._rngs = RngRegistry(seed).fork("gateway-failures")
+        self.crashes = 0
+        self.recoveries = 0
+        self.on_crash: List[Callable[[int, int], None]] = []
+        self.on_recover: List[Callable[[int, int], None]] = []
+
+    def schedule_crashes(self, until_ns: int) -> int:
+        """Pre-schedule every shard crash/recovery up to *until_ns*.
+
+        Same shape as the host injector: all times drawn up front from
+        per-shard streams, crashes only before the horizon, the paired
+        recovery scheduled unconditionally (a shard never stays down
+        forever — required for the final drain to resolve parked and
+        re-dispatched work).  Returns the number of crashes planned.
+        """
+        mean_up_ns = self.config.mean_uptime_ns()
+        if mean_up_ns is None:
+            return 0
+        engine = self.plane.engine
+        recovery_ns = milliseconds(self.config.recovery_ms)
+        planned = 0
+        for index in range(len(self.plane.shards)):
+            rng = self._rngs.stream(f"crash:{index}")
+            t = engine.now
+            while True:
+                t += max(1, round(rng.expovariate(1.0 / mean_up_ns)))
+                if t >= until_ns:
+                    break
+                engine.schedule_at(
+                    t,
+                    lambda i=index: self._crash(i),
+                    priority=EventPriority.FAILURE,
+                    label=f"gateway-crash:{index}",
+                )
+                planned += 1
+                t += max(1, round(recovery_ns * (0.5 + rng.random())))
+                engine.schedule_at(
+                    t,
+                    lambda i=index: self._recover(i),
+                    priority=EventPriority.FAILURE,
+                    label=f"gateway-recover:{index}",
+                )
+        return planned
+
+    def _crash(self, index: int) -> None:
+        now = self.plane.engine.now
+        if not self.plane.crash_shard(index, now):
+            return  # already down (overlapping draw); recovery pending
+        self.crashes += 1
+        for listener in self.on_crash:
+            listener(index, now)
+
+    def _recover(self, index: int) -> None:
+        if self.plane.shards[index].down is False:
+            return
+        now = self.plane.engine.now
+        self.plane.recover_shard(index, now)
+        self.recoveries += 1
+        for listener in self.on_recover:
+            listener(index, now)
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayFailureInjector(rate={self.config.gateway_failure_rate}, "
+            f"shards={len(self.plane.shards)}, crashes={self.crashes}, "
+            f"recoveries={self.recoveries})"
+        )

@@ -76,6 +76,8 @@ class Attempt:
     hedge: bool = False
     #: "ok" while executing/completed; else "transient" | "hung" | "crash"
     status: str = "ok"
+    #: fencing token stamped by the control-plane journal (0 = unjournaled)
+    fence: int = 0
     invocation: Optional[Invocation] = None
     executing: bool = False
     #: the gateway's own completion callback event (cancellable)
@@ -106,6 +108,9 @@ class Request:
     #: runs on every attempt and every no-host wait, so it must not
     #: re-scan the attempt list each time
     primary_count: int = 0
+    #: global request id at the control-plane frontend (-1 = unrouted);
+    #: the durable key the intent log and the exactly-once oracle use
+    origin: int = -1
 
     @property
     def primary_attempts(self) -> int:
@@ -196,6 +201,17 @@ class ResilientGateway:
         #: stale wake events drain harmlessly).
         self._wake_at: Optional[int] = None
         self._draining = False
+        #: Control-plane intent journal (duck-typed: record_admit /
+        #: record_launch / record_outcome / record_fenced).  None for a
+        #: standalone gateway — every hook is behind a None check so the
+        #: legacy hot path pays one attribute test, nothing more.
+        self.journal = None
+        #: Set when the control plane abandons this incarnation (the
+        #: gateway shard crashed and a replacement took over).  Every
+        #: engine-scheduled entry point bails out when fenced, so a slow
+        #: pre-crash attempt can never mutate recovered state or
+        #: double-complete a request the replacement re-dispatched.
+        self.fenced = False
         if self.obs is not NULL_OBS:
             self.obs.on_rebind(self._rebind_instruments)
 
@@ -245,23 +261,39 @@ class ResilientGateway:
         priority: int = 0,
         deadline_ns: Optional[int] = None,
         run_logic: bool = False,
+        origin: int = -1,
+        submit_ns: Optional[int] = None,
     ) -> Request:
-        """Admit (or shed) one request and start its first attempt."""
+        """Admit (or shed) one request and start its first attempt.
+
+        ``origin`` is the frontend's global request id (the intent-log
+        key); ``submit_ns`` backdates the ledger entry to the original
+        arrival instant for requests that waited in the frontend
+        parking lot — latency and the deadline are measured from it,
+        so frontend queueing is never hidden.
+        """
         now = self._clock._now
+        arrived = now if submit_ns is None else submit_ns
         spec = self._spec(function_name)
         request = Request(
             request_id=len(self.requests),
             function=function_name,
             priority=priority,
-            submit_ns=now,
-            deadline_ns=now + (deadline_ns or self.config.default_deadline_ns),
+            submit_ns=arrived,
+            deadline_ns=arrived + (deadline_ns or self.config.default_deadline_ns),
             current_start=StartType.HORSE if spec.is_ull else StartType.WARM,
             run_logic=run_logic,
+            origin=origin,
         )
         self.requests.append(request)
+        journal = self.journal
+        if journal is not None:
+            journal.record_admit(request, now)
         if not self.admission.admit(priority, self.active):
             request.state = RequestState.SHED
             request.resolution = "admission-overload"
+            if journal is not None:
+                journal.record_outcome(request, now, fence=0)
             if self.obs.enabled:
                 self._counter(
                     "resilience.shed", "requests shed by admission control"
@@ -271,6 +303,42 @@ class ResilientGateway:
                     function=function_name, priority=priority,
                 )
             return request
+        self.active += 1
+        self._launch(request, hedge=False)
+        return request
+
+    def restore(
+        self,
+        function_name: str,
+        priority: int,
+        submit_ns: int,
+        deadline_ns: int,
+        origin: int,
+        run_logic: bool = False,
+    ) -> Request:
+        """Reconstruct an admitted-but-unresolved request from an intent
+        log (control-plane recovery).
+
+        The request was already admitted by the crashed incarnation, so
+        admission is bypassed (a replacement shard must not shed work it
+        is obligated to finish) and no second admit record is journaled.
+        The retry budget starts fresh: the crashed incarnation's attempt
+        history is unknowable by design, and recovery re-dispatches must
+        not burn budget the client never saw consumed.  The original
+        absolute deadline still applies.
+        """
+        spec = self._spec(function_name)
+        request = Request(
+            request_id=len(self.requests),
+            function=function_name,
+            priority=priority,
+            submit_ns=submit_ns,
+            deadline_ns=deadline_ns,
+            current_start=StartType.HORSE if spec.is_ull else StartType.WARM,
+            run_logic=run_logic,
+            origin=origin,
+        )
+        self.requests.append(request)
         self.active += 1
         self._launch(request, hedge=False)
         return request
@@ -285,7 +353,7 @@ class ResilientGateway:
         # inlined: this method runs once per attempt AND once per
         # no-host rewait (~30x per request under full chaos), so every
         # property hop here is paid tens of thousands of times.
-        if request.state is not RequestState.IN_FLIGHT:
+        if self.fenced or request.state is not RequestState.IN_FLIGHT:
             return
         now = self._clock._now
         config = self.config
@@ -354,6 +422,11 @@ class ResilientGateway:
             hedge=hedge,
         )
         request.attempts.append(attempt)
+        journal = self.journal
+        if journal is not None:
+            # Write-ahead: the launch intent (and its fencing token) is
+            # journaled before the dispatch can fail or complete.
+            attempt.fence = journal.record_launch(request, attempt, now)
         if not hedge:
             request.primary_count += 1
         if hedge:
@@ -434,6 +507,8 @@ class ResilientGateway:
             )
 
     def _wake(self) -> None:
+        if self.fenced:
+            return
         self._wake_at = None
         self._drain_parked()
 
@@ -473,7 +548,7 @@ class ResilientGateway:
             )
 
     def _maybe_hedge(self, request: Request, primary_host: int) -> None:
-        if request.state.terminal or request.executing == 0:
+        if self.fenced or request.state.terminal or request.executing == 0:
             return
         self._launch(request, hedge=True, exclude=(primary_host,))
 
@@ -496,6 +571,12 @@ class ResilientGateway:
     def _on_hang_timeout(self, request: Request, attempt: Attempt, sandbox) -> None:
         """The hang timeout fired: write the attempt (and sandbox) off."""
         now = self._clock._now
+        if self.fenced:
+            # The incarnation is dead but the node-local watchdog still
+            # reclaims the hung sandbox; gateway bookkeeping stays
+            # frozen (the replacement re-dispatched from the log).
+            self.cluster.hosts[attempt.host].destroy_sandbox(sandbox)
+            return
         attempt.executing = False
         attempt.status = "hung"
         request.executing -= 1
@@ -520,6 +601,14 @@ class ResilientGateway:
     # ------------------------------------------------------------------
     def _on_complete(self, request: Request, attempt: Attempt) -> None:
         now = self._clock._now
+        if self.fenced:
+            # A pre-crash attempt finished after the shard was replaced.
+            # The fencing token is stale — the completion is dropped
+            # (counted, never applied), which is exactly what makes the
+            # recovery re-dispatch safe from double-completion.
+            if self.journal is not None:
+                self.journal.record_fenced(request, attempt, now)
+            return
         attempt.executing = False
         request.executing -= 1
         self._forget_inflight(attempt.host, attempt)
@@ -536,6 +625,8 @@ class ResilientGateway:
             request.completed_ns = now
             request.resolution = f"attempt-{attempt.index}"
             self.active -= 1
+            if self.journal is not None:
+                self.journal.record_outcome(request, now, fence=attempt.fence)
             if self.obs.enabled:
                 self._counter(
                     "resilience.complete", "requests completed"
@@ -593,6 +684,8 @@ class ResilientGateway:
         request.state = RequestState.FAILED
         request.resolution = reason
         self.active -= 1
+        if self.journal is not None:
+            self.journal.record_outcome(request, self._clock._now, fence=0)
         if self.obs.enabled:
             self._counter(
                 f"resilience.fail.{reason}", "requests explicitly failed"
@@ -613,6 +706,8 @@ class ResilientGateway:
     # ------------------------------------------------------------------
     def _handle_crash(self, host_index: int, now_ns: int) -> None:
         """Fail every in-flight attempt on a crashed host and re-dispatch."""
+        if self.fenced:
+            return  # the replacement incarnation owns the host's work now
         victims = self._inflight[host_index]
         self._inflight[host_index] = []
         host = self.cluster.hosts[host_index]
@@ -656,6 +751,8 @@ class ResilientGateway:
 
     def _handle_recover(self, host_index: int, now_ns: int) -> None:
         """Re-warm a recovered host so warm affinity can return to it."""
+        if self.fenced:
+            return
         if self.config.rewarm_per_host >= 1:
             host = self.cluster.hosts[host_index]
             for name in host.registry.names():

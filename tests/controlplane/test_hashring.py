@@ -1,0 +1,73 @@
+"""Consistent-hash ring: stable routing, minimal movement, failover."""
+
+import pytest
+
+from repro.controlplane import HashRing
+from repro.controlplane.hashring import _h
+
+
+class TestHashStability:
+    def test_sha_based_hash_is_process_stable(self):
+        # Python's builtin hash() is salted per process; the ring must
+        # not be.  Pin a value so any drift (hash function, byte order,
+        # truncation width) fails loudly.
+        assert _h("firewall") == int.from_bytes(
+            __import__("hashlib").sha256(b"firewall").digest()[:8], "big"
+        )
+
+    def test_same_population_same_ring(self):
+        one, two = HashRing(5), HashRing(5)
+        for key in ("firewall", "background", "fn-7", ""):
+            assert one.preferred(key) == two.preferred(key)
+
+
+class TestRouting:
+    def test_owner_requires_alive_membership(self):
+        ring = HashRing(4)
+        assert ring.owner("firewall", []) is None
+        assert ring.owner("firewall", range(4)) == ring.preferred("firewall")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(1)
+        assert ring.preferred("a") == 0
+        assert ring.owner("b", [0]) == 0
+
+    def test_down_owner_spills_to_successor_and_snaps_back(self):
+        ring = HashRing(4)
+        key = "firewall"
+        home = ring.preferred(key)
+        alive = [i for i in range(4) if i != home]
+        fallback = ring.owner(key, alive)
+        assert fallback is not None and fallback != home
+        # Recovery: the key snaps straight back to its home shard.
+        assert ring.owner(key, range(4)) == home
+
+    def test_other_keys_do_not_move_when_one_shard_dies(self):
+        ring = HashRing(4, vnodes=64)
+        keys = [f"fn-{i}" for i in range(200)]
+        victim = ring.preferred(keys[0])
+        alive = [i for i in range(4) if i != victim]
+        for key in keys:
+            home = ring.preferred(key)
+            if home != victim:
+                assert ring.owner(key, alive) == home
+
+    def test_failover_walks_to_first_alive(self):
+        ring = HashRing(3)
+        key = "background"
+        # With exactly one shard alive, it owns every key.
+        for only in range(3):
+            assert ring.owner(key, [only]) == only
+
+
+class TestValidation:
+    def test_bad_population_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(3, vnodes=0)
+
+    def test_vnodes_spread_load(self):
+        ring = HashRing(4, vnodes=64)
+        owners = {ring.preferred(f"fn-{i}") for i in range(400)}
+        assert owners == set(range(4))

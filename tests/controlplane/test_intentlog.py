@@ -1,0 +1,129 @@
+"""Intent log and the log-derived invariants."""
+
+from repro.controlplane import IntentLog, intent_log_violations
+
+
+def _admitted(log, origin, t=0, epoch=0):
+    log.admit(
+        t=t, origin=origin, epoch=epoch, function="firewall",
+        priority=1, submit_ns=t, deadline_ns=t + 1000,
+    )
+
+
+class TestLog:
+    def test_open_admits_are_the_redispatch_worklist(self):
+        log = IntentLog(0)
+        _admitted(log, 1, t=10)
+        _admitted(log, 2, t=20)
+        _admitted(log, 3, t=30)
+        log.launch(t=11, origin=1, epoch=0, fence=1, host=0)
+        log.outcome(t=15, origin=1, epoch=0, state="completed",
+                    fence=1, latency_ns=5)
+        open_origins = [r.origin for r in log.open_admits()]
+        assert open_origins == [2, 3]
+
+    def test_indexes_match_records(self):
+        log = IntentLog(3)
+        _admitted(log, 7, t=5)
+        assert log.admitted(7).submit_ns == 5
+        assert log.outcome_of(7) is None
+        log.outcome(t=9, origin=7, epoch=0, state="shed", fence=0,
+                    latency_ns=-1)
+        assert log.outcome_of(7).state == "shed"
+        assert len(log) == 2
+
+
+class TestInvariants:
+    def test_clean_log_passes(self):
+        log = IntentLog(0)
+        _admitted(log, 1)
+        log.launch(t=1, origin=1, epoch=0, fence=1, host=0)
+        log.outcome(t=2, origin=1, epoch=0, state="completed",
+                    fence=1, latency_ns=2)
+        assert intent_log_violations(log, final=True) == []
+
+    def test_lost_invocation_flagged_only_at_final(self):
+        log = IntentLog(0)
+        _admitted(log, 1)
+        assert intent_log_violations(log, final=False) == []
+        problems = intent_log_violations(log, final=True)
+        assert any("lost" in p for p in problems)
+
+    def test_duplicate_admit_flagged(self):
+        log = IntentLog(0)
+        _admitted(log, 1)
+        _admitted(log, 1)
+        assert any(
+            "admitted twice" in p for p in intent_log_violations(log)
+        )
+
+    def test_duplicate_outcome_flagged(self):
+        log = IntentLog(0)
+        _admitted(log, 1)
+        log.launch(t=1, origin=1, epoch=0, fence=1, host=0)
+        log.outcome(t=2, origin=1, epoch=0, state="completed",
+                    fence=1, latency_ns=2)
+        log.outcome(t=3, origin=1, epoch=0, state="completed",
+                    fence=1, latency_ns=3)
+        assert any(
+            "resolved twice" in p for p in intent_log_violations(log)
+        )
+
+    def test_outcome_without_admit_flagged(self):
+        log = IntentLog(0)
+        log.outcome(t=2, origin=9, epoch=0, state="failed", fence=0,
+                    latency_ns=-1)
+        assert any(
+            "without an admit" in p for p in intent_log_violations(log)
+        )
+
+    def test_non_monotone_fence_flagged(self):
+        log = IntentLog(0)
+        _admitted(log, 1)
+        _admitted(log, 2)
+        log.launch(t=1, origin=1, epoch=0, fence=5, host=0)
+        log.launch(t=2, origin=2, epoch=0, fence=5, host=1)
+        assert any(
+            "not monotone" in p for p in intent_log_violations(log)
+        )
+
+    def test_fence_monotone_across_epochs_passes(self):
+        log = IntentLog(0)
+        _admitted(log, 1, epoch=0)
+        log.launch(t=1, origin=1, epoch=0, fence=1, host=0)
+        _admitted(log, 2, epoch=1, t=10)
+        log.launch(t=11, origin=2, epoch=1, fence=2, host=0)
+        log.outcome(t=12, origin=1, epoch=1, state="failed", fence=0,
+                    latency_ns=-1)
+        log.outcome(t=13, origin=2, epoch=1, state="completed",
+                    fence=2, latency_ns=3)
+        assert intent_log_violations(log, final=True) == []
+
+    def test_cross_epoch_completion_flagged(self):
+        # A launch journaled in epoch 0 must not complete the request
+        # in epoch 1: the pre-crash attempt is fenced.
+        log = IntentLog(0)
+        _admitted(log, 1, epoch=0)
+        log.launch(t=1, origin=1, epoch=0, fence=1, host=0)
+        log.outcome(t=20, origin=1, epoch=1, state="completed",
+                    fence=1, latency_ns=19)
+        assert any(
+            "cross-epoch" in p for p in intent_log_violations(log)
+        )
+
+    def test_completion_without_any_launch_flagged(self):
+        log = IntentLog(0)
+        _admitted(log, 1)
+        log.outcome(t=2, origin=1, epoch=0, state="completed",
+                    fence=0, latency_ns=2)
+        assert any(
+            "cross-epoch" in p for p in intent_log_violations(log)
+        )
+
+    def test_epoch_regression_flagged(self):
+        log = IntentLog(0)
+        _admitted(log, 1, epoch=2)
+        _admitted(log, 2, epoch=1)
+        assert any(
+            "epoch regressed" in p for p in intent_log_violations(log)
+        )

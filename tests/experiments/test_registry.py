@@ -29,6 +29,7 @@ EXPECTED_IDS = {
     "overhead",
     "colocation",
     "chaos",
+    "cluster_recovery",
     "cluster_sharded",
     "cluster_study",
     "pool_study",

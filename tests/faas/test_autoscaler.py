@@ -123,3 +123,132 @@ class TestReconciliation:
         faas.engine.run(until=faas.engine.now + seconds(1))
         assert invocation.completed
         assert invocation.initialization_ns < microseconds(1)
+
+
+class TestTrackerCore:
+    """PoolTargetTracker is the engine-free core shared with the
+    prewarm budget protection; pin it on its own."""
+
+    def test_validation(self):
+        from repro.faas.autoscaler import PoolTargetTracker
+
+        with pytest.raises(ValueError, match="window"):
+            PoolTargetTracker(window_ns=0, expected_busy_ns=1)
+        with pytest.raises(ValueError, match="busy"):
+            PoolTargetTracker(window_ns=1, expected_busy_ns=0)
+        with pytest.raises(ValueError, match="headroom"):
+            PoolTargetTracker(window_ns=1, expected_busy_ns=1, headroom=0.9)
+        with pytest.raises(ValueError, match="bounds"):
+            PoolTargetTracker(
+                window_ns=1, expected_busy_ns=1, min_pool=5, max_pool=2
+            )
+
+    def test_empty_window_rate_zero_target_floor(self):
+        from repro.faas.autoscaler import PoolTargetTracker
+
+        tracker = PoolTargetTracker(
+            window_ns=seconds(10), expected_busy_ns=seconds(1), min_pool=2
+        )
+        assert tracker.rate_per_second(seconds(100)) == 0.0
+        assert tracker.target(seconds(100)) == 2
+
+    def test_arrivals_expire_without_new_observations(self):
+        from repro.faas.autoscaler import PoolTargetTracker
+
+        tracker = PoolTargetTracker(
+            window_ns=seconds(10), expected_busy_ns=seconds(1), min_pool=0
+        )
+        for _ in range(30):
+            tracker.observe(seconds(1))
+        assert tracker.target(seconds(2)) > 0
+        # Reading far in the future must expire the whole window even
+        # though observe() was never called again.
+        assert tracker.rate_per_second(seconds(60)) == 0.0
+        assert tracker.target(seconds(60)) == 0
+
+    def test_target_clamps_both_ends(self):
+        from repro.faas.autoscaler import PoolTargetTracker
+
+        tracker = PoolTargetTracker(
+            window_ns=seconds(10), expected_busy_ns=seconds(1),
+            min_pool=1, max_pool=4,
+        )
+        assert tracker.target(0) == 1  # floor with no traffic
+        for _ in range(1000):
+            tracker.observe(seconds(5))
+        assert tracker.target(seconds(5)) == 4  # ceiling under flood
+
+
+class TestEdgeCases:
+    def test_empty_rate_window_reconciles_to_floor(self):
+        """A reconciliation with zero observed traffic must not divide
+        by anything or go below min_pool."""
+        faas = make_platform()
+        scaler = make_autoscaler(faas, min_pool=1)
+        scaler.start()
+        faas.engine.run(until=seconds(5))  # ticks with an empty window
+        assert scaler.reconciliations >= 2
+        assert scaler.current_target == 1
+        assert faas.pool.provisioned_count("fw") == 1
+
+    def test_scale_down_races_in_flight_invocations(self):
+        """Quota shrinks while sandboxes are busy: the in-flight work
+        must complete untouched and the pool settle at the new target
+        afterwards — scale-down is quota-only, never teardown."""
+        faas = make_platform()
+        scaler = make_autoscaler(faas, min_pool=1)
+        scaler.start()
+        for _ in range(20):
+            scaler.observe_trigger()
+        faas.engine.run(until=seconds(3))
+        assert faas.pool.size("fw") == 3
+        # Occupy the pool, then let traffic stop so the next
+        # reconciliations race the busy sandboxes with a lower target.
+        invocations = [
+            faas.trigger("fw", StartType.HORSE) for _ in range(3)
+        ]
+        faas.engine.run(until=seconds(20))
+        assert all(invocation.completed for invocation in invocations)
+        assert scaler.current_target == 1
+        assert faas.pool.provisioned_count("fw") == 1
+        assert faas.pool.size("fw") <= 3
+
+    def test_reconciliation_across_gateway_recovery(self):
+        """The autoscaler lives on the data plane: a control-plane
+        crash/recovery (gateway epoch bump) must neither stop its ticks
+        nor reset its rate window."""
+        from repro.faas.autoscaler import AutoscalerConfig, PoolAutoscaler
+        from repro.sim.engine import Engine
+
+        from tests.controlplane.conftest import build_shard
+
+        engine = Engine()
+        shard = build_shard(engine, 0)
+        host = shard.cluster.hosts[0]
+        scaler = PoolAutoscaler(
+            host,
+            "firewall",
+            expected_busy_ns=seconds(1),
+            config=AutoscalerConfig(
+                window_ns=seconds(10), period_ns=seconds(2),
+                min_pool=1, max_pool=8,
+            ),
+        )
+        scaler.start()
+        for _ in range(20):
+            scaler.observe_trigger()
+        engine.schedule_at(seconds(3), lambda: shard.crash(engine.now))
+        engine.schedule_at(seconds(4), lambda: shard.recover(engine.now))
+        engine.run(until=seconds(5))
+        assert shard.epoch == 1
+        ticks_at_recovery = scaler.reconciliations
+        assert ticks_at_recovery >= 1
+        assert scaler.current_target == 3  # window survived the epoch bump
+        engine.run(until=seconds(9))
+        assert scaler.reconciliations > ticks_at_recovery
+        # Post-recovery traffic routed through the NEW incarnation still
+        # lands on the same data plane the autoscaler provisioned.
+        shard.submit("firewall", origin=123)
+        scaler.stop()  # or the tick would reschedule forever below
+        engine.run()
+        assert shard.log.outcome_of(123).state == "completed"

@@ -1,9 +1,18 @@
-"""Keep-alive policies."""
+"""Keep-alive policies (legacy; superseded by repro.faas.prewarm)."""
 
 import pytest
 
 from repro.faas.keepalive import FixedKeepAlive, HistogramKeepAlive
 from repro.sim.units import seconds
+
+# HistogramKeepAlive is deprecated in favour of prewarm.HybridHistogram;
+# these tests cover the legacy behaviour on purpose.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def test_histogram_keepalive_is_deprecated():
+    with pytest.warns(DeprecationWarning, match="HybridHistogram"):
+        HistogramKeepAlive()
 
 
 class TestFixed:

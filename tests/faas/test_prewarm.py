@@ -420,3 +420,63 @@ class TestRenderReplay:
         assert "fixed-600" in text
         assert f"events           {result.events}" in text
         assert "invariant violations: 0" in text
+
+
+class TestAutoscaleProtection:
+    """S2: the autoscaler's Little's-law pool target drives a protected
+    quota in the victim scan — a function the tracker still wants warm
+    is spared, at the cost of an overcommit."""
+
+    def protected_cell(self, **kwargs):
+        kwargs.setdefault("autoscale_protect", True)
+        return _Cell(
+            make_config(
+                memory_budget_mb=128.0, sandbox_mb=128.0, **kwargs
+            ),
+            group=0,
+        )
+
+    def test_recently_active_function_is_spared(self):
+        cell = self.protected_cell(protect_window_s=60.0)
+        cell.on_arrival(0, 0)                       # fn 0 hot
+        cell.on_arrival(10 * SECOND, 1)             # fn 0 idle but in-window
+        assert cell.stats.protected_skips >= 1
+        assert cell.states[0].resident              # spared
+        assert cell.stats.pressure_evictions == 0
+        assert cell.stats.overcommit_loads == 1     # borrowed instead
+
+    def test_protection_expires_with_the_rate_window(self):
+        cell = self.protected_cell(protect_window_s=30.0)
+        cell.on_arrival(0, 0)
+        cell.on_arrival(100 * SECOND, 1)            # window long gone
+        assert not cell.states[0].resident          # evicted normally
+        assert cell.stats.pressure_evictions == 1
+        assert cell.stats.overcommit_loads == 0
+
+    def test_default_off_keeps_legacy_eviction(self):
+        cell = _Cell(
+            make_config(memory_budget_mb=128.0, sandbox_mb=128.0), group=0
+        )
+        assert cell.trackers is None
+        cell.on_arrival(0, 0)
+        cell.on_arrival(10 * SECOND, 1)
+        assert cell.stats.protected_skips == 0
+        assert not cell.states[0].resident          # legacy LRU eviction
+
+    @pytest.mark.parametrize("kwargs", [
+        {"protect_window_s": 0.0},
+        {"protect_headroom": 0.5},
+    ])
+    def test_bad_protection_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_config(autoscale_protect=True, **kwargs)
+
+    def test_protected_run_end_to_end_stays_sound(self):
+        config = make_config(
+            functions=40, duration_s=600.0, rate=0.5,
+            memory_budget_mb=4 * 128.0, policy="fixed-600",
+            autoscale_protect=True, protect_window_s=30.0,
+        )
+        stats = run_cell(config, 0)
+        assert stats.violations == []
+        assert stats.protected_skips > 0            # protection engaged

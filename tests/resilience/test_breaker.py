@@ -140,3 +140,60 @@ class TestAudit:
         breaker.record_success(50)  # goes backwards
         problems = breaker.invariant_violations()
         assert any("monotone" in message for message in problems)
+
+
+class TestMemoryLayout:
+    """S1: breakers sit on the per-request hot path — one per host per
+    gateway incarnation — so they must stay ``__slots__``-only, like
+    Request/Attempt already are."""
+
+    def test_breaker_objects_have_no_dict(self):
+        breaker = make_breaker()
+        assert not hasattr(breaker, "__dict__")
+        assert not hasattr(breaker.config, "__dict__")
+        with pytest.raises(AttributeError):
+            breaker.accidental_new_attribute = 1
+
+    def test_transition_records_are_slotted(self):
+        breaker = make_breaker(threshold=1)
+        breaker.record_failure(0)
+        transition = breaker.transitions[0]
+        assert not hasattr(transition, "__dict__")
+
+    def test_allocation_count_stays_flat_across_churn(self):
+        """Driving the full CLOSED→OPEN→HALF_OPEN→CLOSED cycle many
+        times must allocate only the audit records, never per-call
+        garbage that would show up as dict churn."""
+        import tracemalloc
+
+        breaker = make_breaker(threshold=1, open_ns=1)
+        now = 0
+
+        def cycle(now):
+            breaker.record_failure(now)          # -> OPEN
+            now += 2
+            breaker.allow(now)                   # -> HALF_OPEN (lazy)
+            breaker.on_attempt(now)
+            breaker.record_success(now)          # -> CLOSED
+            return now + 2
+
+        for _ in range(10):                      # warm up interned state
+            now = cycle(now)
+        baseline_transitions = len(breaker.transitions)
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(100):
+            now = cycle(now)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grew = sum(
+            s.count_diff for s in after.compare_to(before, "lineno")
+            if s.count_diff > 0
+        )
+        transitions_added = len(breaker.transitions) - baseline_transitions
+        assert transitions_added == 300          # 3 edges per cycle
+        # Each cycle allocates its 3 audit records plus their boxed
+        # timestamps; an extra __dict__ per record (what dropping
+        # __slots__ would cost) adds another block per object and blows
+        # past this envelope.
+        assert grew <= transitions_added * 2 + 20
