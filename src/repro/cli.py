@@ -235,6 +235,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 2
     _apply_scheduler(args)
+    from repro.resilience.policies import default_dispatch_policy
+
+    dispatch = args.dispatch or default_dispatch_policy()
     if args.gateways is not None:
         from repro.experiments.cluster_recovery import (
             ClusterRecoveryConfig,
@@ -252,6 +255,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 failure_rate=args.failure_rate,
                 requests=args.requests,
                 seed=args.seed,
+                dispatch=dispatch,
             )
             recovery = run_recovery(
                 recovery_config, shards=args.shards or 1
@@ -279,6 +283,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 failure_rate=args.failure_rate,
                 requests=args.requests,
                 seed=args.seed,
+                dispatch=dispatch,
             )
             sharded = run_sharded_chaos(sharded_config, shards=args.shards)
         except ValueError as exc:
@@ -298,6 +303,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             failure_rate=args.failure_rate,
             requests=args.requests,
             seed=args.seed,
+            dispatch=dispatch,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -317,7 +323,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     byte-identical stdout for ANY ``--shards`` (the CI replay job diffs
     same-seed runs and worker counts).
     """
-    from repro.faas.prewarm import PrewarmConfig, render_replay, run_replay
+    from repro.faas.prewarm import (
+        PrewarmConfig,
+        default_prewarm_policy,
+        render_replay,
+        run_replay,
+    )
     from repro.traces.replay import ReplayConfig
 
     try:
@@ -327,7 +338,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 duration_s=args.hours * 3600.0,
                 seed=args.seed,
             ),
-            policy=args.policy,
+            policy=args.policy or default_prewarm_policy(),
             memory_budget_mb=args.memory_budget,
             sandbox_mb=args.sandbox_mb,
             groups=args.groups,
@@ -410,7 +421,38 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "policies", False):
+        from repro.faas.prewarm import PREWARM_POLICIES
+        from repro.resilience.policies import DISPATCH_POLICIES
+        from repro.sim.engine import _ENV_SCHEDULER, default_scheduler
+        from repro.sim.schedulers import scheduler_kinds
+
+        axes = [
+            (
+                "scheduler",
+                _ENV_SCHEDULER,
+                default_scheduler(),
+                list(scheduler_kinds()),
+            ),
+            (
+                "prewarm",
+                PREWARM_POLICIES.env_var,
+                PREWARM_POLICIES.default(),
+                PREWARM_POLICIES.kinds(),
+            ),
+            (
+                "dispatch",
+                DISPATCH_POLICIES.env_var,
+                DISPATCH_POLICIES.default(),
+                DISPATCH_POLICIES.kinds(),
+            ),
+        ]
+        for axis, env_var, default, kinds in axes:
+            print(f"{axis:9s}  ({env_var}, default {default})")
+            for kind in kinds:
+                print(f"  {kind}")
+        return 0
     width = max(len(spec.id) for spec in all_specs())
     for spec in all_specs():
         print(f"{spec.id:{width}s}  ~{spec.fast_estimate_s:4.1f}s  {spec.title}")
@@ -585,6 +627,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged deterministic trace as JSONL "
         "(with --shards or --gateways)",
     )
+    chaos.add_argument(
+        "--dispatch", type=str, default=None, metavar="P",
+        help="gateway dispatch policy: push-least-loaded | pull[-<slots>] "
+        "| mqfq-sticky | deadline[-<slack_ms>] (default: "
+        "REPRO_DISPATCH_POLICY or push-least-loaded; see "
+        "'repro list --policies')",
+    )
     _add_scheduler_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -602,9 +651,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated duration in hours (default 1.0)",
     )
     replay.add_argument(
-        "--policy", type=str, default="hybrid", metavar="P",
+        "--policy", type=str, default=None, metavar="P",
         help="sandbox lifecycle policy: none | fixed-<seconds> | hybrid "
-        "| hybrid-<bin_seconds> (default hybrid)",
+        "| hybrid-<bin_seconds> (default: REPRO_PREWARM_POLICY or "
+        "hybrid; see 'repro list --policies')",
     )
     replay.add_argument(
         "--memory-budget", type=float, default=4096.0, metavar="MB",
@@ -687,6 +737,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = subparsers.add_parser(
         "list", help="list experiment ids, titles, and fast-mode estimates"
+    )
+    lister.add_argument(
+        "--policies", action="store_true",
+        help="list every registered scheduler/prewarm/dispatch policy "
+        "with its env var and effective default",
     )
     lister.set_defaults(func=_cmd_list)
 

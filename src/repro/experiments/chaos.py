@@ -39,6 +39,8 @@ from repro.resilience import (
     RequestState,
     ResilienceConfig,
     ResilientGateway,
+    default_dispatch_policy,
+    make_dispatch_policy,
 )
 from repro.sim.rng import RngRegistry
 from repro.sim.units import milliseconds, seconds, to_microseconds
@@ -71,6 +73,10 @@ class ChaosConfig:
     #: arrival window)
     crash_mtbf_base_s: float = 0.25
     seed: int = 0
+    #: dispatch-policy spec; resolved at config construction so the
+    #: rendered header and trace reflect the actual policy, env var
+    #: included (same render iff same policy)
+    dispatch: str = field(default_factory=default_dispatch_policy)
 
     def __post_init__(self) -> None:
         if self.hosts < 2:
@@ -87,6 +93,7 @@ class ChaosConfig:
             raise ValueError(
                 f"warm_per_host must be >= 1, got {self.warm_per_host}"
             )
+        make_dispatch_policy(self.dispatch)  # validate eagerly
 
 
 @dataclass
@@ -148,16 +155,22 @@ def _mode_resilience(mode: str, config: ChaosConfig) -> ResilienceConfig:
     # Recoveries restock to the full provisioning level; a half-warmed
     # host would turn every breaker exclusion elsewhere into cold starts.
     rewarm = config.warm_per_host
+    dispatch = config.dispatch
     if mode == "breaker":
-        return ResilienceConfig(breaker=_STUDY_BREAKER, rewarm_per_host=rewarm)
+        return ResilienceConfig(
+            breaker=_STUDY_BREAKER, rewarm_per_host=rewarm, dispatch=dispatch
+        )
     if mode == "retries-only":
-        return ResilienceConfig(breaker=None, rewarm_per_host=rewarm)
+        return ResilienceConfig(
+            breaker=None, rewarm_per_host=rewarm, dispatch=dispatch
+        )
     if mode == "vanilla":
         # No uLL class in a vanilla deployment, hence no hedging either.
         return ResilienceConfig(
             breaker=_STUDY_BREAKER,
             hedge=HedgePolicy.disabled(),
             rewarm_per_host=rewarm,
+            dispatch=dispatch,
         )
     raise ValueError(f"unknown chaos mode {mode!r}; choose from {CHAOS_MODES}")
 
@@ -281,9 +294,17 @@ def run_chaos(
 def render_chaos(result: ChaosResult) -> str:
     """Fixed-width summary table (byte-stable for the determinism check)."""
     config = result.config
+    # The dispatch suffix only appears off the default so the header —
+    # and with it every pre-policy golden — is byte-stable.
+    dispatch = (
+        f" dispatch={config.dispatch}"
+        if config.dispatch != "push-least-loaded"
+        else ""
+    )
     lines = [
         f"chaos: hosts={config.hosts} requests={config.requests} "
-        f"failure_rate={config.failure_rate:g} seed={config.seed}",
+        f"failure_rate={config.failure_rate:g} seed={config.seed}"
+        f"{dispatch}",
         "",
         f"{'mode':14s} {'done':>5s} {'shed':>5s} {'fail':>5s} {'retry':>6s} "
         f"{'hedge':>6s} {'degr':>5s} {'opens':>6s} "

@@ -51,6 +51,8 @@ from repro.resilience import (
     GatewayFailureConfig,
     GatewayFailureInjector,
     ResilienceConfig,
+    default_dispatch_policy,
+    make_dispatch_policy,
 )
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -104,6 +106,10 @@ class ClusterRecoveryConfig:
     #: admission capacity per shard (high: the oracle needs no shedding)
     admission_capacity: int = 4096
     seed: int = 0
+    #: dispatch-policy spec for every gateway shard (same convention as
+    #: ChaosConfig; the oracle re-runs inherit it, so the differential
+    #: exactly-once comparison holds per policy)
+    dispatch: str = field(default_factory=default_dispatch_policy)
 
     def __post_init__(self) -> None:
         if self.groups < 1:
@@ -129,6 +135,7 @@ class ClusterRecoveryConfig:
             raise ValueError(
                 f"deadline_s must be in (0, drain_s), got {self.deadline_s}"
             )
+        make_dispatch_policy(self.dispatch)  # validate eagerly
 
 
 @dataclass
@@ -180,6 +187,7 @@ def run_recovery_cell(
         admission=AdmissionConfig(
             capacity=config.admission_capacity, reserved_slots=8
         ),
+        dispatch=config.dispatch,
     )
     shards: List[GatewayShard] = []
     host_injectors: List[FailureInjector] = []
@@ -509,11 +517,17 @@ def render_recovery(result: ClusterRecoveryResult) -> str:
         v for cell in cells for v in cell.recovery_latencies_us
     )
     steady_count = len(latencies) - len(recovery)
+    dispatch = (
+        f" dispatch={config.dispatch}"
+        if config.dispatch != "push-least-loaded"
+        else ""
+    )
     lines = [
         f"cluster-recovery: groups={config.groups} gateways={config.gateways} "
         f"hosts/gw={config.hosts} requests={config.requests} "
         f"gw_failure_rate={config.gateway_failure_rate:g} "
-        f"host_failure_rate={config.failure_rate:g} seed={config.seed}",
+        f"host_failure_rate={config.failure_rate:g} seed={config.seed}"
+        f"{dispatch}",
         "",
         f"{'cell':>4s} {'subm':>5s} {'done':>5s} {'shed':>5s} {'fail':>5s} "
         f"{'gwcrash':>8s} {'redisp':>7s} {'fenced':>7s} {'parked':>7s} "

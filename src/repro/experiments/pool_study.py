@@ -12,21 +12,22 @@ reports, per policy:
 * evictions and peak pooled sandbox count (the memory cost of warmth).
 
 Policies compared: fixed windows of several lengths, and the adaptive
-histogram policy (per-function p99 idle gap), mirroring the fixed vs
+ATC'20 hybrid histogram policy (via :class:`HybridKeepAlive` over
+:class:`repro.faas.prewarm.HybridHistogram`), mirroring the fixed vs
 "Serverless in the Wild" trade-off.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import fresh_platform
 from repro.faas.function import FunctionSpec
 from repro.faas.invocation import StartType
-from repro.faas.keepalive import FixedKeepAlive, HistogramKeepAlive, KeepAlivePolicy
+from repro.faas.keepalive import FixedKeepAlive, HybridKeepAlive, KeepAlivePolicy
+from repro.faas.prewarm import HybridHistogram
 from repro.faas.platform import FaaSPlatform
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -65,13 +66,17 @@ class PoolStudyResult:
 
 
 def _default_policies() -> Dict[str, KeepAlivePolicy]:
-    # HistogramKeepAlive is deprecated (see repro.faas.prewarm), but the
-    # study's comparison table keeps it as the adaptive baseline.
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        histogram = HistogramKeepAlive(
-            default_window_ns=seconds(30), min_observations=4
+    # The adaptive baseline is the ATC'20 hybrid policy (via the
+    # HybridKeepAlive facade), binned finely enough for a 120 s study
+    # and falling back to a 30 s window until it has seen 4 gaps.
+    histogram = HybridKeepAlive(
+        HybridHistogram(
+            bin_width_ns=seconds(5),
+            bins=60,
+            min_observations=4,
+            default_keep_ns=seconds(30),
         )
+    )
     return {
         "fixed-5s": FixedKeepAlive(seconds(5)),
         "fixed-30s": FixedKeepAlive(seconds(30)),

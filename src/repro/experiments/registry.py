@@ -365,6 +365,38 @@ def _chaos_rows(result: Any) -> List[Dict[str, Any]]:
     ]
 
 
+def _run_dispatch_zoo(config: ExperimentConfig) -> Any:
+    from repro.experiments.dispatch_zoo import (
+        DispatchZooConfig,
+        run_dispatch_zoo,
+    )
+
+    zoo_config = (
+        DispatchZooConfig(
+            hosts=2,
+            requests=120,
+            failure_rates=(0.1,),
+            mixes=("balanced", "accel"),
+            seed=config.seed,
+        )
+        if config.fast
+        else DispatchZooConfig(seed=config.seed)
+    )
+    return run_dispatch_zoo(zoo_config)
+
+
+def _render_dispatch_zoo(result: Any) -> str:
+    from repro.experiments.dispatch_zoo import render_dispatch_zoo
+
+    return render_dispatch_zoo(result)
+
+
+def _dispatch_zoo_rows(result: Any) -> List[Dict[str, Any]]:
+    from repro.experiments.dispatch_zoo import dispatch_zoo_rows
+
+    return dispatch_zoo_rows(result)
+
+
 def _run_cluster_sharded(config: ExperimentConfig) -> Any:
     from repro.experiments.sharded_chaos import (
         ShardedChaosConfig,
@@ -722,6 +754,16 @@ register(
         runner=_run_chaos,
         renderer=_render_chaos,
         rows_fn=_chaos_rows,
+    )
+)
+register(
+    ExperimentSpec(
+        id="dispatch_zoo",
+        title="Zoo — dispatch policies x failure rate x workload mix",
+        fast_estimate_s=2.0,
+        runner=_run_dispatch_zoo,
+        renderer=_render_dispatch_zoo,
+        rows_fn=_dispatch_zoo_rows,
     )
 )
 register(

@@ -50,6 +50,8 @@ from repro.resilience import (
     FailureInjector,
     RequestState,
     ResilientGateway,
+    default_dispatch_policy,
+    make_dispatch_policy,
 )
 from repro.sim.rng import RngRegistry
 from repro.sim.sharding import assign_cells, merge_records, windowed_run
@@ -80,6 +82,9 @@ class ShardedChaosConfig:
     drain_s: float = 60.0
     crash_mtbf_base_s: float = 0.25
     seed: int = 0
+    #: dispatch-policy spec for every cell's gateway (resolved at
+    #: construction, same convention as ChaosConfig)
+    dispatch: str = field(default_factory=default_dispatch_policy)
 
     def __post_init__(self) -> None:
         if self.groups < 1:
@@ -98,6 +103,7 @@ class ShardedChaosConfig:
             raise ValueError(
                 f"warm_per_host must be >= 1, got {self.warm_per_host}"
             )
+        make_dispatch_policy(self.dispatch)  # validate eagerly
 
 
 @dataclass
@@ -427,10 +433,15 @@ def render_sharded_chaos(result: ShardedChaosResult) -> str:
     """
     config = result.config
     modes = list(result.outcomes)
+    dispatch = (
+        f" dispatch={config.dispatch}"
+        if config.dispatch != "push-least-loaded"
+        else ""
+    )
     lines = [
         f"chaos-sharded: groups={config.groups} hosts/group={config.hosts} "
         f"requests={config.requests} failure_rate={config.failure_rate:g} "
-        f"seed={config.seed}",
+        f"seed={config.seed}{dispatch}",
         "shard-load: "
         + " ".join(
             f"g{group}={result.cells[(modes[0], group)].submitted}"

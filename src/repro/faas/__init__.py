@@ -14,7 +14,12 @@ from repro.faas.cluster import (
 from repro.faas.function import FunctionRegistry, FunctionSpec
 from repro.faas.gateway import FaaSGateway
 from repro.faas.invocation import Invocation, StartType
-from repro.faas.keepalive import FixedKeepAlive, HistogramKeepAlive, KeepAlivePolicy
+from repro.faas.keepalive import (
+    FixedKeepAlive,
+    HistogramKeepAlive,
+    HybridKeepAlive,
+    KeepAlivePolicy,
+)
 from repro.faas.platform import FaaSPlatform
 from repro.faas.pool import SandboxPool
 from repro.faas.prewarm import (
@@ -76,6 +81,7 @@ __all__ = [
     "StartType",
     "FixedKeepAlive",
     "HistogramKeepAlive",
+    "HybridKeepAlive",
     "KeepAlivePolicy",
     "FaaSPlatform",
     "SandboxPool",

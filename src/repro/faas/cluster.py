@@ -199,6 +199,10 @@ class FaaSCluster:
         #: layer points this at its per-node circuit breakers).
         self.host_gate: Optional[Callable[[int], bool]] = None
         self._excluded: Set[int] = set()
+        #: host index -> accelerator tags ("gpu", ...).  Empty dict =
+        #: homogeneous cluster; dispatch policies skip the eligibility
+        #: filter entirely then, keeping the common path allocation-free.
+        self.accelerators: Dict[int, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # Health & routability
@@ -278,6 +282,25 @@ class FaaSCluster:
     def recover_host(self, index: int, now_ns: Optional[int] = None) -> None:
         """Bring a crashed host back (empty-pooled until re-warmed)."""
         self.mark_up(index, now_ns)
+
+    # ------------------------------------------------------------------
+    def tag_accelerator(self, index: int, *tags: str) -> None:
+        """Attach accelerator tags ("gpu", ...) to one host.
+
+        A function whose spec names an ``accelerator`` is only eligible
+        for hosts carrying that tag.  Tags survive crash/recovery — the
+        hardware does not un-plug when the node reboots.
+        """
+        if not 0 <= index < len(self.hosts):
+            raise ValueError(
+                f"host index {index} out of range (cluster has "
+                f"{len(self.hosts)} hosts)"
+            )
+        cleaned = tuple(sorted({t.strip() for t in tags if t.strip()}))
+        if not cleaned:
+            raise ValueError("tag_accelerator needs at least one tag")
+        existing = self.accelerators.get(index, ())
+        self.accelerators[index] = tuple(sorted(set(existing) | set(cleaned)))
 
     # ------------------------------------------------------------------
     def register(self, spec: FunctionSpec) -> None:

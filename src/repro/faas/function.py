@@ -23,8 +23,17 @@ class FunctionSpec:
     memory_mb: int = 512
     #: Tenant subscribed to provisioned concurrency (always-warm pool).
     provisioned_concurrency: int = 0
+    #: Resource tag this function needs on its host ("" = any host;
+    #: e.g. "gpu" restricts placement to hosts tagged via
+    #: :meth:`~repro.faas.cluster.FaaSCluster.tag_accelerator`).
+    accelerator: str = ""
 
     def __post_init__(self) -> None:
+        if self.accelerator != self.accelerator.strip():
+            raise ValueError(
+                f"{self.name}: accelerator tag {self.accelerator!r} "
+                "has surrounding whitespace"
+            )
         if self.vcpus < 1:
             raise ValueError(f"{self.name}: vcpus must be >= 1, got {self.vcpus}")
         if self.memory_mb < 1:

@@ -7,17 +7,21 @@ policies:
 
 * :class:`FixedKeepAlive` — the industry default (e.g. 10-20 min on
   the large providers; OpenWhisk's classic 10 min grace period);
-* :class:`HistogramKeepAlive` — the "Serverless in the Wild" (ATC'20)
-  adaptive policy: the window follows the observed idle-time
-  distribution of that function, here its observed p99 idle gap.
+* :class:`HybridKeepAlive` — a :class:`KeepAlivePolicy` facade over
+  :class:`repro.faas.prewarm.HybridHistogram`, the full "Serverless in
+  the Wild" (ATC'20) policy (binned histograms, prewarm windows,
+  pattern-change reset).  Use this wherever the platform expects a
+  keep-alive policy but the adaptive behaviour should come from the
+  maintained implementation.
 
 .. deprecated::
-   :class:`HistogramKeepAlive` is superseded by
-   :class:`repro.faas.prewarm.HybridHistogram`, the full ATC'20 policy
-   (binned histograms, prewarm windows, pattern-change reset) used by
-   the streaming replayer; pool protection against eviction is now
-   driven by :class:`repro.faas.autoscaler.PoolTargetTracker`.  This
-   module remains for the legacy pool study only.
+   :class:`HistogramKeepAlive` (the simplified p99-of-raw-gaps sketch
+   of ATC'20) is superseded by :class:`HybridKeepAlive` /
+   :class:`repro.faas.prewarm.HybridHistogram`; pool protection
+   against eviction is now driven by
+   :class:`repro.faas.autoscaler.PoolTargetTracker`.  Construction
+   emits :class:`DeprecationWarning`; removal is scheduled for the PR
+   after next (see README).
 """
 
 from __future__ import annotations
@@ -25,10 +29,13 @@ from __future__ import annotations
 import abc
 import warnings
 from collections import defaultdict
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.metrics.stats import percentile
 from repro.sim.units import seconds
+
+if TYPE_CHECKING:
+    from repro.faas.prewarm import HybridHistogram
 
 
 class KeepAlivePolicy(abc.ABC):
@@ -52,6 +59,38 @@ class FixedKeepAlive(KeepAlivePolicy):
 
     def keep_alive_ns(self, function_name: str) -> int:
         return self.window_ns
+
+
+class HybridKeepAlive(KeepAlivePolicy):
+    """Adaptive keep-alive driven by :class:`prewarm.HybridHistogram`.
+
+    The legacy pool model has no unload/reload phase, so a decision's
+    prewarm window (sandbox unloaded, then reloaded ahead of the
+    predicted arrival) collapses onto the keep-alive axis: the sandbox
+    is simply retained through ``prewarm + keep_alive``, which covers
+    the same predicted-arrival horizon at a higher memory cost.
+    """
+
+    def __init__(self, policy: Optional["HybridHistogram"] = None) -> None:
+        from repro.faas.prewarm import HybridHistogram
+
+        self.policy = HybridHistogram() if policy is None else policy
+        self._fn_ids: Dict[str, int] = {}
+
+    def _fn(self, function_name: str) -> int:
+        fn = self._fn_ids.get(function_name)
+        if fn is None:
+            fn = self._fn_ids[function_name] = len(self._fn_ids)
+        return fn
+
+    def observe_idle_gap(self, function_name: str, gap_ns: int) -> None:
+        if gap_ns < 0:
+            raise ValueError(f"negative idle gap {gap_ns}")
+        self.policy.observe_gap(self._fn(function_name), gap_ns)
+
+    def keep_alive_ns(self, function_name: str) -> int:
+        decision = self.policy.decision(self._fn(function_name))
+        return (decision.prewarm_ns or 0) + decision.keep_alive_ns
 
 
 class HistogramKeepAlive(KeepAlivePolicy):

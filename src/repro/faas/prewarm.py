@@ -50,6 +50,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faas.autoscaler import PoolTargetTracker
 from repro.hypervisor.costs import CostModel, cost_model_for
+from repro.policyreg import PolicyRegistry
 from repro.sim.units import SECOND, to_microseconds
 from repro.traces.replay import ReplayConfig, ReplayStats, merged_stream
 
@@ -60,7 +61,12 @@ __all__ = [
     "NoKeepAlive",
     "FixedWindow",
     "HybridHistogram",
+    "PREWARM_POLICIES",
     "make_policy",
+    "prewarm_policy_kinds",
+    "register_prewarm_policy",
+    "set_default_prewarm_policy",
+    "default_prewarm_policy",
     "PrewarmConfig",
     "CellStats",
     "PrewarmResult",
@@ -308,6 +314,49 @@ class HybridHistogram(PrewarmPolicy):
         return PolicyDecision(prewarm_ns=prewarm, keep_alive_ns=keep)
 
 
+#: The prewarm policy axis on the shared registry convention
+#: (see :mod:`repro.policyreg`): string specs, ``register_*`` /
+#: ``set_default_*`` hooks, and the ``REPRO_PREWARM_POLICY`` env var.
+PREWARM_POLICIES = PolicyRegistry(
+    axis="prewarm", env_var="REPRO_PREWARM_POLICY", builtin="hybrid"
+)
+
+
+def _make_none(spec: str) -> PrewarmPolicy:
+    return NoKeepAlive()
+
+
+def _make_hybrid(spec: str) -> PrewarmPolicy:
+    if spec == "hybrid":
+        return HybridHistogram()
+    try:
+        bin_s = int(spec[len("hybrid-"):])
+    except ValueError:
+        raise ValueError(f"bad hybrid bin-width spec {spec!r}") from None
+    policy = HybridHistogram(bin_width_ns=bin_s * SECOND)
+    policy.name = spec
+    return policy
+
+
+def _make_fixed(spec: str) -> PrewarmPolicy:
+    # "fixed" with no window is a spelling error, not a default.
+    param = spec[len("fixed-"):] if spec.startswith("fixed-") else ""
+    try:
+        window_s = int(param)
+    except ValueError:
+        raise ValueError(f"bad fixed keep-alive spec {spec!r}") from None
+    return FixedWindow(window_s * SECOND)
+
+
+PREWARM_POLICIES.register("none", _make_none)
+PREWARM_POLICIES.register(
+    "hybrid", _make_hybrid, syntax="hybrid[-<bin_seconds>]", parameterized=True
+)
+PREWARM_POLICIES.register(
+    "fixed", _make_fixed, syntax="fixed-<seconds>", parameterized=True
+)
+
+
 def make_policy(spec: str) -> PrewarmPolicy:
     """Build a policy from its CLI spelling.
 
@@ -317,28 +366,29 @@ def make_policy(spec: str) -> PrewarmPolicy:
     A factory (not instances) because policies carry per-function state
     and must be constructed fresh inside each worker process.
     """
-    if spec == "none":
-        return NoKeepAlive()
-    if spec == "hybrid":
-        return HybridHistogram()
-    if spec.startswith("hybrid-"):
-        try:
-            bin_s = int(spec[len("hybrid-"):])
-        except ValueError:
-            raise ValueError(f"bad hybrid bin-width spec {spec!r}") from None
-        policy = HybridHistogram(bin_width_ns=bin_s * SECOND)
-        policy.name = spec
-        return policy
-    if spec.startswith("fixed-"):
-        try:
-            seconds = int(spec[len("fixed-"):])
-        except ValueError:
-            raise ValueError(f"bad fixed keep-alive spec {spec!r}") from None
-        return FixedWindow(seconds * SECOND)
-    raise ValueError(
-        f"unknown policy {spec!r} "
-        f"(want none | fixed-<seconds> | hybrid | hybrid-<bin_seconds>)"
+    return PREWARM_POLICIES.make(spec)
+
+
+def prewarm_policy_kinds() -> List[str]:
+    """Registered prewarm-policy spec syntaxes."""
+    return PREWARM_POLICIES.kinds()
+
+
+def register_prewarm_policy(family, factory, syntax=None, parameterized=False):
+    """Register a new prewarm-policy family (rejects duplicates)."""
+    PREWARM_POLICIES.register(
+        family, factory, syntax=syntax, parameterized=parameterized
     )
+
+
+def set_default_prewarm_policy(spec: str) -> str:
+    """Set the process-default prewarm policy; returns the previous."""
+    return PREWARM_POLICIES.set_default(spec)
+
+
+def default_prewarm_policy() -> str:
+    """Effective default: override > ``REPRO_PREWARM_POLICY`` > builtin."""
+    return PREWARM_POLICIES.default()
 
 
 # ---------------------------------------------------------------------------
@@ -351,7 +401,9 @@ class PrewarmConfig:
     """One replay-under-policy run (picklable; workers rebuild policies)."""
 
     replay: ReplayConfig = field(default_factory=ReplayConfig)
-    policy: str = "hybrid"
+    #: prewarm-policy spec; defaults to the process default
+    #: (``REPRO_PREWARM_POLICY`` env / ``set_default_prewarm_policy``)
+    policy: str = field(default_factory=default_prewarm_policy)
     memory_budget_mb: float = 4096.0
     sandbox_mb: float = 128.0
     exec_ns: int = 1_000_000          # 1 ms service time

@@ -60,6 +60,19 @@ from repro.resilience.gateway import (
     ResilienceConfig,
     ResilientGateway,
 )
+from repro.resilience.policies import (
+    DeadlineAwarePolicy,
+    DispatchPolicy,
+    MqfqStickyPolicy,
+    PullQueuePolicy,
+    PushPlacementPolicy,
+    default_dispatch_policy,
+    dispatch_policy_kinds,
+    eligible_candidates,
+    make_dispatch_policy,
+    register_dispatch_policy,
+    set_default_dispatch_policy,
+)
 from repro.resilience.retry import HedgePolicy, RetryPolicy
 
 __all__ = [
@@ -90,6 +103,17 @@ __all__ = [
     "RequestState",
     "ResilienceConfig",
     "ResilientGateway",
+    "DeadlineAwarePolicy",
+    "DispatchPolicy",
+    "MqfqStickyPolicy",
+    "PullQueuePolicy",
+    "PushPlacementPolicy",
+    "default_dispatch_policy",
+    "dispatch_policy_kinds",
+    "eligible_candidates",
+    "make_dispatch_policy",
+    "register_dispatch_policy",
+    "set_default_dispatch_policy",
     "HedgePolicy",
     "RetryPolicy",
 ]

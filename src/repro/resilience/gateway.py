@@ -49,6 +49,11 @@ from repro.resilience.degradation import (
     plan_with_ladder,
 )
 from repro.resilience.failures import FailureInjector
+from repro.resilience.policies import (
+    DispatchPolicy,
+    default_dispatch_policy,
+    make_dispatch_policy,
+)
 from repro.resilience.retry import HedgePolicy, RetryPolicy
 from repro.sim.rng import RngRegistry
 from repro.sim.units import seconds
@@ -140,6 +145,10 @@ class ResilienceConfig:
     default_deadline_ns: int = seconds(10)
     #: warm sandboxes re-provisioned per function when a host recovers
     rewarm_per_host: int = 1
+    #: dispatch-policy spec (see repro.resilience.policies); None
+    #: resolves the process default (``REPRO_DISPATCH_POLICY`` env /
+    #: ``set_default_dispatch_policy``) at gateway construction
+    dispatch: Optional[str] = None
 
 
 class ResilientGateway:
@@ -174,6 +183,14 @@ class ResilientGateway:
                 for i in range(len(cluster.hosts))
             }
             cluster.host_gate = self._breaker_gate
+        #: Every placement decision routes through here — push policies
+        #: choose a host, pull policies may answer None (park and wait
+        #: for a host to pull).  A fresh instance per gateway: policies
+        #: carry mutable scheduling state (virtual time, sticky maps).
+        self.dispatch: DispatchPolicy = make_dispatch_policy(
+            config.dispatch or default_dispatch_policy()
+        )
+        self.dispatch.bind(self)
         # Counter handles are cached per name; a tracer/registry swap on
         # the bundle invalidates the cache (NULL_OBS never rebinds and
         # must not hold hook references, so it is left unhooked).
@@ -304,6 +321,7 @@ class ResilientGateway:
                 )
             return request
         self.active += 1
+        self.dispatch.on_submit(request)
         self._launch(request, hedge=False)
         return request
 
@@ -340,6 +358,7 @@ class ResilientGateway:
         )
         self.requests.append(request)
         self.active += 1
+        self.dispatch.on_submit(request)
         self._launch(request, hedge=False)
         return request
 
@@ -372,9 +391,7 @@ class ResilientGateway:
             with cluster.excluding(*exclude):
                 candidates = cluster.routable_or_empty()
                 host_index = (
-                    cluster.placement.choose_from(
-                        cluster, request.function, candidates
-                    )
+                    self.dispatch.select_host(request, candidates)
                     if candidates
                     else None
                 )
@@ -385,9 +402,7 @@ class ResilientGateway:
             # branch keeps it off exception machinery too.
             candidates = cluster.routable_or_empty()
             host_index = (
-                cluster.placement.choose_from(
-                    cluster, request.function, candidates
-                )
+                self.dispatch.select_host(request, candidates)
                 if candidates
                 else None
             )
@@ -525,7 +540,11 @@ class ResilientGateway:
         try:
             parked = self._parked
             self._parked = []
-            for request in parked:
+            # The dispatch policy owns the dequeue order: FIFO for the
+            # push default (byte-identical to pre-policy behavior),
+            # priority classes for pull, virtual-time for MQFQ, EDF for
+            # deadline-aware.
+            for request in self.dispatch.order_queue(parked):
                 self._launch(request, hedge=False)
         finally:
             self._draining = False
@@ -647,6 +666,11 @@ class ResilientGateway:
                 ).inc()
         if freed_capacity:
             self._drain_parked()
+        self.dispatch.on_complete(request, attempt)
+        # A completion frees capacity on the host; pull-shaped policies
+        # treat that as the host asking for more work.
+        if self._parked and self.dispatch.on_host_idle(attempt.host):
+            self._drain_parked()
 
     def _attempt_failed(
         self,
@@ -708,6 +732,7 @@ class ResilientGateway:
         """Fail every in-flight attempt on a crashed host and re-dispatch."""
         if self.fenced:
             return  # the replacement incarnation owns the host's work now
+        self.dispatch.on_crash(host_index, now_ns)
         victims = self._inflight[host_index]
         self._inflight[host_index] = []
         host = self.cluster.hosts[host_index]
@@ -753,6 +778,7 @@ class ResilientGateway:
         """Re-warm a recovered host so warm affinity can return to it."""
         if self.fenced:
             return
+        self.dispatch.on_recover(host_index, now_ns)
         if self.config.rewarm_per_host >= 1:
             host = self.cluster.hosts[host_index]
             for name in host.registry.names():
@@ -806,6 +832,7 @@ class ResilientGateway:
                 )
         for breaker in self.breakers.values():
             violations.extend(breaker.invariant_violations())
+        violations.extend(self.dispatch.invariant_violations())
         terminal_active = sum(
             1
             for r in self.requests

@@ -32,6 +32,7 @@ EXPECTED_IDS = {
     "cluster_recovery",
     "cluster_sharded",
     "cluster_study",
+    "dispatch_zoo",
     "pool_study",
     "prewarm_frontier",
     "slo",
